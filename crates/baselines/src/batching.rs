@@ -1,0 +1,219 @@
+//! The pure-batching upper baseline.
+
+use std::collections::{HashMap, VecDeque};
+
+use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
+use daris_metrics::{ExperimentSummary, MetricsCollector};
+use daris_models::{DnnKind, ModelProfile};
+use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
+
+use crate::single_tenant::{run_fifo_loop, LoopEvent};
+
+/// How long a partially filled batch may wait before it is flushed anyway.
+/// Without a timeout an underloaded model would starve forever.
+const BATCH_TIMEOUT_PERIODS: f64 = 0.5;
+
+/// A pure batching inference server: released jobs are grouped per model into
+/// fixed-size batches and the batches execute back to back on the whole GPU,
+/// FIFO, with no priorities or admission control.
+///
+/// Its best-case throughput (`Table I max JPS`) is the *upper baseline* the
+/// paper compares DARIS against; its deadline behaviour shows why batching
+/// alone is not a real-time scheduler (jobs wait for their batch to fill).
+#[derive(Debug, Clone)]
+pub struct BatchingServer {
+    spec: GpuSpec,
+    batch_size: HashMap<DnnKind, u32>,
+}
+
+impl BatchingServer {
+    /// Creates a server using the paper's per-model batch sizes
+    /// (4 / 2 / 8, Sec. VI-H).
+    pub fn new() -> Self {
+        let batch_size = DnnKind::all().iter().map(|k| (*k, k.paper_batch_size())).collect();
+        BatchingServer { spec: GpuSpec::rtx_2080_ti(), batch_size }
+    }
+
+    /// Overrides the batch size for one model.
+    pub fn with_batch_size(mut self, kind: DnnKind, batch: u32) -> Self {
+        self.batch_size.insert(kind, batch.max(1));
+        self
+    }
+
+    /// Overrides the device.
+    pub fn with_gpu(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// The upper-baseline throughput of a single model: its best batched JPS
+    /// over a batch sweep on an idle device (Table I max JPS).
+    pub fn upper_baseline_jps(kind: DnnKind) -> f64 {
+        ModelProfile::calibrated(kind).best_batched_jps().1
+    }
+
+    /// Serves `taskset` until `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (which indicate an internal bug).
+    pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
+        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+            .model_kinds()
+            .into_iter()
+            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
+            .collect();
+        let mut gpu = Gpu::new(self.spec.clone());
+        let ctx = gpu.add_context(self.spec.sm_count)?;
+        let stream = gpu.add_stream(ctx)?;
+        let mut metrics = MetricsCollector::new();
+        let arrivals: Vec<Job> =
+            ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
+
+        let mut pending: HashMap<DnnKind, VecDeque<Job>> = HashMap::new();
+        let mut in_flight: HashMap<u64, Vec<Job>> = HashMap::new();
+        let mut next_tag = 0u64;
+        let mut busy = false;
+        let batch_sizes = self.batch_size.clone();
+        let min_period_us: HashMap<DnnKind, f64> = taskset
+            .model_kinds()
+            .into_iter()
+            .map(|k| {
+                let p = taskset
+                    .tasks()
+                    .iter()
+                    .filter(|t| t.model == k)
+                    .map(|t| t.period.as_micros_f64())
+                    .fold(f64::MAX, f64::min);
+                (k, p)
+            })
+            .collect();
+
+        let dispatch = |gpu: &mut Gpu,
+                        pending: &mut HashMap<DnnKind, VecDeque<Job>>,
+                        in_flight: &mut HashMap<u64, Vec<Job>>,
+                        busy: &mut bool,
+                        next_tag: &mut u64|
+         -> Result<(), GpuError> {
+            if *busy {
+                return Ok(());
+            }
+            // Pick the model with the most urgent head-of-line job among
+            // those with a full batch, or with a timed-out partial batch.
+            let now_us = gpu.now().as_micros_f64();
+            let mut best: Option<(DnnKind, bool, f64)> = None;
+            for (kind, queue) in pending.iter() {
+                let Some(head) = queue.front() else { continue };
+                let target = batch_sizes.get(kind).copied().unwrap_or(1) as usize;
+                let full = queue.len() >= target;
+                let waited = now_us - head.release.as_micros_f64();
+                let timeout = BATCH_TIMEOUT_PERIODS * min_period_us.get(kind).copied().unwrap_or(f64::MAX);
+                if full || waited >= timeout {
+                    let urgency = head.absolute_deadline.as_micros_f64();
+                    if best.map(|(_, _, u)| urgency < u).unwrap_or(true) {
+                        best = Some((*kind, full, urgency));
+                    }
+                }
+            }
+            let Some((kind, _, _)) = best else { return Ok(()) };
+            let target = batch_sizes.get(&kind).copied().unwrap_or(1) as usize;
+            let queue = pending.get_mut(&kind).expect("selected kind has a queue");
+            let take = queue.len().min(target);
+            let jobs: Vec<Job> = queue.drain(..take).collect();
+            let profile = &profiles[&kind];
+            let batch = jobs.len() as u32;
+            let tag = *next_tag;
+            *next_tag += 1;
+            let item = WorkItem::new(tag)
+                .with_kernels(profile.job_kernels(batch))
+                .with_h2d_bytes(profile.input_bytes(batch))
+                .with_d2h_bytes(profile.output_bytes(batch));
+            gpu.submit(stream, item)?;
+            in_flight.insert(tag, jobs);
+            *busy = true;
+            Ok(())
+        };
+
+        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
+            LoopEvent::Release(job) => {
+                metrics.record_release(&job);
+                pending.entry(job.model).or_default().push_back(job);
+                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
+            }
+            LoopEvent::Completion { tag, finished_at } => {
+                if let Some(jobs) = in_flight.remove(&tag) {
+                    for job in jobs {
+                        metrics.record_completion(&job, finished_at);
+                    }
+                }
+                busy = false;
+                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
+            }
+        })?;
+        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+    }
+}
+
+impl Default for BatchingServer {
+    fn default() -> Self {
+        BatchingServer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_workload::Priority;
+
+    #[test]
+    fn upper_baseline_matches_table1_max_jps() {
+        for (kind, expected) in [
+            (DnnKind::ResNet18, 1025.0),
+            (DnnKind::ResNet50, 433.0),
+            (DnnKind::UNet, 260.0),
+            (DnnKind::InceptionV3, 446.0),
+        ] {
+            let jps = BatchingServer::upper_baseline_jps(kind);
+            assert!((jps - expected).abs() / expected < 0.12, "{kind}: {jps} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn batching_beats_single_tenant_on_the_overloaded_set() {
+        let taskset = TaskSet::table2(DnnKind::InceptionV3);
+        let horizon = SimTime::from_millis(400);
+        let batching = BatchingServer::new().run(&taskset, horizon).unwrap();
+        let single = crate::SingleTenantServer::new().run(&taskset, horizon).unwrap();
+        assert!(
+            batching.throughput_jps > 1.5 * single.throughput_jps,
+            "batching {} vs single {}",
+            batching.throughput_jps,
+            single.throughput_jps
+        );
+    }
+
+    #[test]
+    fn batching_has_no_priority_awareness() {
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let summary = BatchingServer::new().run(&taskset, SimTime::from_millis(300)).unwrap();
+        // Overloaded: both priority classes miss deadlines because jobs wait
+        // for their batch regardless of priority.
+        assert!(summary.of(Priority::High).deadline_misses > 0);
+        assert!(summary.of(Priority::Low).deadline_misses > 0);
+        assert_eq!(summary.total.rejected, 0, "no admission control in the baseline");
+    }
+
+    #[test]
+    fn partial_batches_are_flushed_for_light_load() {
+        // A single light task never fills a batch of 8; the timeout must
+        // flush it so jobs still complete.
+        let light: TaskSet = TaskSet::table2(DnnKind::InceptionV3)
+            .tasks()
+            .iter()
+            .take(1)
+            .cloned()
+            .collect();
+        let summary = BatchingServer::new().run(&light, SimTime::from_millis(400)).unwrap();
+        assert!(summary.total.completed > 3, "{:?}", summary.total);
+    }
+}

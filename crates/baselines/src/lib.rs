@@ -1,0 +1,33 @@
+//! # daris-baselines
+//!
+//! The comparison schedulers used by the DARIS paper's evaluation, all
+//! implemented against the same simulated GPU:
+//!
+//! * [`SingleTenantServer`] — one DNN at a time on the whole GPU, FIFO. This
+//!   is the paper's *lower baseline* ("single DNN" throughput, also the
+//!   Clockwork-style predictable-but-slow design point).
+//! * [`BatchingServer`] — a pure batching inference server: jobs of a model
+//!   are grouped into fixed-size batches and executed back to back on the
+//!   whole GPU. Its best throughput is the *upper baseline* (Table I max
+//!   JPS), which DARIS aims to beat without batching.
+//! * [`GsliceServer`] — a GSlice-like controlled spatial-sharing server:
+//!   static, non-oversubscribed SM partitions, one per tenant, each running
+//!   batched inference, no priorities and no admission control (Sec. VI-B).
+//! * [`FifoMultiStreamServer`] — an RTGPU-style multi-stream FIFO scheduler
+//!   with no priorities, no staging and no admission test.
+//!
+//! Every baseline returns the same [`daris_metrics::ExperimentSummary`] the
+//! DARIS runtime produces, so experiment runners can compare them directly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batching;
+mod fifo;
+mod gslice;
+mod single_tenant;
+
+pub use batching::BatchingServer;
+pub use fifo::FifoMultiStreamServer;
+pub use gslice::GsliceServer;
+pub use single_tenant::SingleTenantServer;

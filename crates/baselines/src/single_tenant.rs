@@ -1,0 +1,226 @@
+//! The single-tenant (one DNN at a time) lower baseline.
+
+use std::collections::{HashMap, VecDeque};
+
+use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
+use daris_metrics::{ExperimentSummary, MetricsCollector};
+use daris_models::{DnnKind, ModelProfile};
+use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
+
+/// Serves jobs strictly one at a time on the whole GPU, in release (FIFO)
+/// order — the paper's "single DNN" lower baseline and the design point of
+/// predictability-first systems like Clockwork.
+///
+/// ```
+/// use daris_baselines::SingleTenantServer;
+/// use daris_models::DnnKind;
+///
+/// // Serving ResNet18 alone reproduces Table I's min JPS (~627).
+/// let jps = SingleTenantServer::isolated_jps(DnnKind::ResNet18, 20);
+/// assert!((jps - 627.0).abs() / 627.0 < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleTenantServer {
+    spec: GpuSpec,
+}
+
+impl SingleTenantServer {
+    /// Creates a server on the paper's RTX 2080 Ti.
+    pub fn new() -> Self {
+        SingleTenantServer { spec: GpuSpec::rtx_2080_ti() }
+    }
+
+    /// Creates a server on a custom device.
+    pub fn with_gpu(spec: GpuSpec) -> Self {
+        SingleTenantServer { spec }
+    }
+
+    /// Measures the isolated (unbatched, single-stream) throughput of one
+    /// model by running `jobs` back-to-back inferences.
+    pub fn isolated_jps(kind: DnnKind, jobs: u32) -> f64 {
+        let spec = GpuSpec::rtx_2080_ti().without_interference();
+        let profile = ModelProfile::calibrated_for(kind, Default::default(), &spec);
+        let mut gpu = Gpu::new(spec);
+        let ctx = gpu.add_context(gpu.spec().sm_count).expect("valid context");
+        let stream = gpu.add_stream(ctx).expect("valid stream");
+        for j in 0..jobs {
+            let item = WorkItem::new(u64::from(j))
+                .with_kernels(profile.job_kernels(1))
+                .with_h2d_bytes(profile.input_bytes(1))
+                .with_d2h_bytes(profile.output_bytes(1));
+            gpu.submit(stream, item).expect("valid item");
+        }
+        gpu.run_to_idle();
+        f64::from(jobs) / gpu.now().as_secs_f64()
+    }
+
+    /// Serves `taskset` until `horizon` and returns the resulting metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (which indicate an internal bug).
+    pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
+        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+            .model_kinds()
+            .into_iter()
+            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
+            .collect();
+        let mut gpu = Gpu::new(self.spec.clone());
+        let ctx = gpu.add_context(self.spec.sm_count)?;
+        let stream = gpu.add_stream(ctx)?;
+        let mut metrics = MetricsCollector::new();
+        let plan = ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None);
+        let arrivals: Vec<Job> = plan.into_iter().collect();
+        let mut pending: VecDeque<Job> = VecDeque::new();
+        let mut in_flight: HashMap<u64, Job> = HashMap::new();
+        let mut next_tag = 0u64;
+        let mut busy = false;
+
+        let dispatch = |gpu: &mut Gpu,
+                            pending: &mut VecDeque<Job>,
+                            in_flight: &mut HashMap<u64, Job>,
+                            busy: &mut bool,
+                            next_tag: &mut u64|
+         -> Result<(), GpuError> {
+            if *busy {
+                return Ok(());
+            }
+            let Some(job) = pending.pop_front() else { return Ok(()) };
+            let profile = &profiles[&job.model];
+            let tag = *next_tag;
+            *next_tag += 1;
+            let item = WorkItem::new(tag)
+                .with_kernels(profile.job_kernels(job.batch_size))
+                .with_h2d_bytes(profile.input_bytes(job.batch_size))
+                .with_d2h_bytes(profile.output_bytes(job.batch_size));
+            gpu.submit(stream, item)?;
+            in_flight.insert(tag, job);
+            *busy = true;
+            Ok(())
+        };
+
+        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
+            LoopEvent::Release(job) => {
+                metrics.record_release(&job);
+                pending.push_back(job);
+                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
+            }
+            LoopEvent::Completion { tag, finished_at } => {
+                if let Some(job) = in_flight.remove(&tag) {
+                    metrics.record_completion(&job, finished_at);
+                }
+                busy = false;
+                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
+            }
+        })?;
+        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+    }
+}
+
+impl Default for SingleTenantServer {
+    fn default() -> Self {
+        SingleTenantServer::new()
+    }
+}
+
+/// Events delivered to baseline run loops.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LoopEvent {
+    /// A job release.
+    Release(Job),
+    /// A work-item completion.
+    Completion {
+        /// The submitted tag.
+        tag: u64,
+        /// Completion time.
+        finished_at: SimTime,
+    },
+}
+
+/// Shared event loop for the baseline servers: merges GPU completions and job
+/// releases in time order until `horizon`, invoking `handler` for each.
+pub(crate) fn run_fifo_loop<F>(
+    gpu: &mut Gpu,
+    arrivals: &[Job],
+    horizon: SimTime,
+    mut handler: F,
+) -> Result<(), GpuError>
+where
+    F: FnMut(&mut Gpu, LoopEvent) -> Result<(), GpuError>,
+{
+    let mut next_arrival = 0usize;
+    loop {
+        let next_release = arrivals.get(next_arrival).map(|j| j.release);
+        let gpu_next = gpu.next_event_time();
+        let step_to = match (next_release, gpu_next) {
+            (Some(r), Some(g)) => r.min(g),
+            (Some(r), None) => r,
+            (None, Some(g)) => g,
+            (None, None) => break,
+        };
+        if step_to > horizon {
+            break;
+        }
+        let completions = gpu.advance_to(step_to);
+        for c in completions {
+            handler(gpu, LoopEvent::Completion { tag: c.tag, finished_at: c.finished_at })?;
+        }
+        while next_arrival < arrivals.len() && arrivals[next_arrival].release <= step_to {
+            let job = arrivals[next_arrival];
+            next_arrival += 1;
+            handler(gpu, LoopEvent::Release(job))?;
+        }
+    }
+    let completions = gpu.advance_to(horizon);
+    for c in completions {
+        handler(gpu, LoopEvent::Completion { tag: c.tag, finished_at: c.finished_at })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_workload::Priority;
+
+    #[test]
+    fn isolated_jps_matches_table1_for_all_models() {
+        for (kind, expected) in [
+            (DnnKind::ResNet18, 627.0),
+            (DnnKind::ResNet50, 250.0),
+            (DnnKind::UNet, 241.0),
+            (DnnKind::InceptionV3, 142.0),
+        ] {
+            let jps = SingleTenantServer::isolated_jps(kind, 10);
+            assert!((jps - expected).abs() / expected < 0.1, "{kind}: {jps} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn overloaded_taskset_misses_many_deadlines_without_colocation() {
+        // The ResNet18 Table II set offers ~1530 jobs/s; a single-tenant
+        // server tops out near 627 JPS and must miss deadlines massively —
+        // the motivation for multi-tenant scheduling in the paper's intro.
+        let server = SingleTenantServer::new();
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let summary = server.run(&taskset, SimTime::from_millis(300)).unwrap();
+        assert!(summary.throughput_jps < 700.0);
+        assert!(summary.total.deadline_miss_rate > 0.3, "{}", summary.total.deadline_miss_rate);
+        // FIFO has no priority awareness: HP tasks miss too.
+        assert!(summary.of(Priority::High).deadline_misses > 0);
+    }
+
+    #[test]
+    fn underloaded_taskset_is_served_without_misses() {
+        let light: TaskSet = TaskSet::table2(DnnKind::UNet)
+            .tasks()
+            .iter()
+            .take(3)
+            .cloned()
+            .collect();
+        let server = SingleTenantServer::new();
+        let summary = server.run(&light, SimTime::from_millis(300)).unwrap();
+        assert!(summary.total.completed > 10);
+        assert_eq!(summary.total.deadline_misses, 0);
+    }
+}

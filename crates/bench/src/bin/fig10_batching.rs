@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10 (DARIS combined with batched inputs).
+fn main() {
+    for table in daris_bench::figure10_batching() {
+        println!("{table}");
+    }
+}

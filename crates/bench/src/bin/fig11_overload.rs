@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (overloading and HP-to-LP task ratios).
+fn main() {
+    println!("{}", daris_bench::figure11_overload());
+}

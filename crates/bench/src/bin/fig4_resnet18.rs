@@ -1,0 +1,4 @@
+//! Regenerates Fig. 4 (ResNet18 task set: throughput and LP deadline misses).
+fn main() {
+    println!("{}", daris_bench::figure4_resnet18());
+}

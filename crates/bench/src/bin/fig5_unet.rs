@@ -1,0 +1,4 @@
+//! Regenerates Fig. 5 (UNet task set: throughput and LP deadline misses).
+fn main() {
+    println!("{}", daris_bench::figure5_unet());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (InceptionV3 task set: throughput and LP deadline misses).
+fn main() {
+    println!("{}", daris_bench::figure6_inception());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 7 (mixed task set).
+fn main() {
+    println!("{}", daris_bench::figure7_mixed());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 8 (DARIS module contributions).
+fn main() {
+    println!("{}", daris_bench::figure8_ablation());
+}

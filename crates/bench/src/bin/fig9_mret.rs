@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (execution time vs MRET) plus the window-size sweep.
+fn main() {
+    for table in daris_bench::figure9_mret() {
+        println!("{table}");
+    }
+}

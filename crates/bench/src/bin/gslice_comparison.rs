@@ -1,0 +1,4 @@
+//! Regenerates the Sec. VI-B comparison with GSlice and pure batching.
+fn main() {
+    println!("{}", daris_bench::gslice_comparison());
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment of the paper and prints the full paper-vs-measured
+//! report (the source of `EXPERIMENTS.md`).
+//!
+//! Control the per-configuration simulated horizon with `DARIS_HORIZON_MS`
+//! (default 1500 ms).
+fn main() {
+    println!("# DARIS reproduction — measured results\n");
+    println!(
+        "Simulated horizon per configuration: {:.1} s\n",
+        daris_bench::horizon().as_secs_f64()
+    );
+    println!("{}", daris_bench::table1());
+    println!("{}", daris_bench::table2());
+    println!("{}", daris_bench::figure4_resnet18());
+    println!("{}", daris_bench::figure5_unet());
+    println!("{}", daris_bench::figure6_inception());
+    println!("{}", daris_bench::figure7_mixed());
+    println!("{}", daris_bench::figure8_ablation());
+    for table in daris_bench::figure9_mret() {
+        println!("{table}");
+    }
+    for table in daris_bench::figure10_batching() {
+        println!("{table}");
+    }
+    println!("{}", daris_bench::figure11_overload());
+    println!("{}", daris_bench::gslice_comparison());
+}

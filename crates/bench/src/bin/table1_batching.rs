@@ -1,0 +1,4 @@
+//! Regenerates Table I / Fig. 1 (batching performance per DNN).
+fn main() {
+    println!("{}", daris_bench::table1());
+}

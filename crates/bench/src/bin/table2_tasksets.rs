@@ -1,0 +1,4 @@
+//! Prints the Table II task-set composition.
+fn main() {
+    println!("{}", daris_bench::table2());
+}

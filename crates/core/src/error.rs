@@ -1,0 +1,59 @@
+//! Error type for the scheduler crate.
+
+use std::error::Error;
+use std::fmt;
+
+use daris_gpu::GpuError;
+
+/// Errors returned by the DARIS scheduler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The partition/config combination is invalid (e.g. zero contexts).
+    InvalidConfig(String),
+    /// The task set is empty.
+    EmptyTaskSet,
+    /// An error bubbled up from the GPU simulator.
+    Gpu(GpuError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(reason) => write!(f, "invalid scheduler configuration: {reason}"),
+            CoreError::EmptyTaskSet => write!(f, "task set contains no tasks"),
+            CoreError::Gpu(e) => write!(f, "gpu simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for CoreError {
+    fn from(e: GpuError) -> Self {
+        CoreError::Gpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig("zero contexts".into());
+        assert!(e.to_string().contains("zero contexts"));
+        assert!(e.source().is_none());
+        let g = CoreError::from(GpuError::ZeroQuota);
+        assert!(g.to_string().contains("gpu"));
+        assert!(g.source().is_some());
+        assert!(CoreError::EmptyTaskSet.to_string().contains("no tasks"));
+    }
+}

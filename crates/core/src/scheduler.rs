@@ -1,0 +1,556 @@
+//! The DARIS online scheduler and its simulation runtime.
+//!
+//! [`DarisScheduler`] owns a simulated GPU configured according to the chosen
+//! [`GpuPartition`](crate::GpuPartition), plus all scheduler state (MRET
+//! estimator, per-context utilization, ready-stage queues, active jobs). Its
+//! [`run_until`](DarisScheduler::run_until) method drives the event loop:
+//! job releases from the workload's arrival plan, stage completions from the
+//! GPU, admission/migration decisions, and stage dispatch.
+
+use std::collections::HashMap;
+
+use daris_gpu::{Gpu, SimDuration, SimTime, StreamId, WorkItem};
+use daris_metrics::{ExperimentSummary, MetricsCollector};
+use daris_models::{DnnKind, ModelProfile};
+use daris_workload::{ArrivalPlan, Job, JobId, Priority, ReleaseJitter, TaskId, TaskSet, TaskSpec};
+
+use crate::{
+    populate_contexts, virtual_deadlines, AfetProfiler, ContextLoad, CoreError, DarisConfig,
+    MretEstimator, ReadyStage, Result, StageQueue,
+};
+
+/// One execution-time observation paired with the MRET prediction that was in
+/// force when the stage was dispatched (the data behind Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MretSample {
+    /// Completion time of the stage.
+    pub at: SimTime,
+    /// Task the stage belongs to.
+    pub task: TaskId,
+    /// Stage index.
+    pub stage: usize,
+    /// Measured execution time.
+    pub actual: SimDuration,
+    /// MRET prediction prior to this observation.
+    pub predicted: SimDuration,
+}
+
+/// Result of one scheduler run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Aggregated throughput / deadline-miss / response-time metrics.
+    pub summary: ExperimentSummary,
+    /// MRET trace (empty unless [`DarisConfig::record_mret_trace`] is set).
+    pub mret_trace: Vec<MretSample>,
+    /// The configuration label, e.g. `"MPS 6x1 OS6"`.
+    pub config_label: String,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    job: Job,
+    context: usize,
+    next_stage: usize,
+    stage_count: usize,
+    /// Absolute virtual deadline per stage (Eq. 8 applied to the release).
+    virtual_deadlines: Vec<SimTime>,
+    predecessor_missed: bool,
+}
+
+/// The DARIS scheduler bound to a simulated GPU.
+#[derive(Debug)]
+pub struct DarisScheduler {
+    config: DarisConfig,
+    taskset: TaskSet,
+    profiles: HashMap<DnnKind, ModelProfile>,
+    gpu: Gpu,
+    /// Streams grouped by context index.
+    streams: Vec<Vec<StreamId>>,
+    stream_busy: HashMap<StreamId, bool>,
+    loads: Vec<ContextLoad>,
+    queues: Vec<StageQueue>,
+    mret: MretEstimator,
+    /// Task index → context index (HP fixed; LP updated on migration).
+    assignment: Vec<usize>,
+    active: HashMap<JobId, ActiveJob>,
+    tag_map: HashMap<u64, (JobId, usize)>,
+    next_tag: u64,
+    metrics: MetricsCollector,
+    mret_trace: Vec<MretSample>,
+    now: SimTime,
+}
+
+impl DarisScheduler {
+    /// Builds a scheduler for `taskset` under `config`: creates the GPU
+    /// partition, loads model weights, runs the AFET profiling pass and the
+    /// offline context population (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid configuration, an empty task set, or
+    /// if the task set's models do not fit in device memory.
+    pub fn new(taskset: &TaskSet, config: DarisConfig) -> Result<Self> {
+        config.validate()?;
+        if taskset.is_empty() {
+            return Err(CoreError::EmptyTaskSet);
+        }
+        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+            .model_kinds()
+            .into_iter()
+            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &config.gpu)))
+            .collect();
+
+        // Spatial partition: Nc contexts × Ns streams with the Eq. 9 quota.
+        let mut gpu = Gpu::new(config.gpu.clone());
+        let quota = config.partition.sm_quota(config.gpu.sm_count);
+        let mut streams = Vec::new();
+        for _ in 0..config.partition.n_contexts {
+            let ctx = gpu.add_context(quota)?;
+            let mut ctx_streams = Vec::new();
+            for _ in 0..config.partition.streams_per_context {
+                ctx_streams.push(gpu.add_stream(ctx)?);
+            }
+            streams.push(ctx_streams);
+        }
+        let stream_busy = streams.iter().flatten().map(|s| (*s, false)).collect();
+
+        // Every model stays resident on the device for the whole run.
+        for (kind, profile) in &profiles {
+            gpu.memory_mut().alloc(format!("{kind}.weights"), profile.weight_bytes())?;
+        }
+
+        // AFET profiling pass (Sec. IV-A1) seeds MRET and drives Algorithm 1.
+        let afet = AfetProfiler::profile(taskset, &config, &profiles)?;
+        let mut mret = MretEstimator::new(config.window_size);
+        for task in taskset.tasks() {
+            let seeds = effective_stage_seeds(&afet, task, &config);
+            mret.seed(task.id, seeds);
+        }
+
+        let n_contexts = config.partition.n_contexts as usize;
+        let assignment = populate_contexts(taskset.tasks(), n_contexts, |t| {
+            afet.task_afet(t.model).as_micros_f64() / t.period.as_micros_f64()
+        });
+        let mut loads: Vec<ContextLoad> =
+            (0..n_contexts).map(|_| ContextLoad::new(config.partition.streams_per_context)).collect();
+        for (idx, task) in taskset.tasks().iter().enumerate() {
+            let util = mret.task_utilization(task.id, task.period);
+            loads[assignment[idx]].assign_task(task.id, task.priority, util);
+        }
+        let queues = (0..n_contexts).map(|_| StageQueue::new(config.ablation)).collect();
+
+        Ok(DarisScheduler {
+            config,
+            taskset: taskset.clone(),
+            profiles,
+            gpu,
+            streams,
+            stream_busy,
+            loads,
+            queues,
+            mret,
+            assignment,
+            active: HashMap::new(),
+            tag_map: HashMap::new(),
+            next_tag: 0,
+            metrics: MetricsCollector::new(),
+            mret_trace: Vec::new(),
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DarisConfig {
+        &self.config
+    }
+
+    /// Read access to the underlying simulated GPU (inspection in tests and
+    /// examples).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Read access to the MRET estimator.
+    pub fn mret(&self) -> &MretEstimator {
+        &self.mret
+    }
+
+    /// The current offline/online context assignment, indexed by task.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Runs the online phase until `horizon` and returns the outcome.
+    ///
+    /// Job releases stop at the horizon; jobs still in flight at the horizon
+    /// count as deadline misses if their deadline has already passed (the
+    /// same accounting the paper's DMR uses).
+    pub fn run_until(&mut self, horizon: SimTime) -> ExperimentOutcome {
+        let plan = ArrivalPlan::generate(&self.taskset, horizon, ReleaseJitter::None);
+        let arrivals: Vec<Job> = plan.into_iter().collect();
+        let mut next_arrival = 0usize;
+
+        loop {
+            let next_release = arrivals.get(next_arrival).map(|j| j.release);
+            let gpu_next = self.gpu.next_event_time();
+            let step_to = match (next_release, gpu_next) {
+                (Some(r), Some(g)) => r.min(g),
+                (Some(r), None) => r,
+                (None, Some(g)) => g,
+                (None, None) => break,
+            };
+            if step_to > horizon {
+                break;
+            }
+            let completions = self.gpu.advance_to(step_to);
+            self.now = step_to;
+            for completion in completions {
+                self.handle_completion(completion.tag, completion.finished_at, completion.execution_time(), completion.stream);
+            }
+            while next_arrival < arrivals.len() && arrivals[next_arrival].release <= self.now {
+                let job = arrivals[next_arrival];
+                next_arrival += 1;
+                self.handle_release(job);
+            }
+            self.dispatch();
+        }
+
+        // Account the remaining time up to the horizon (no further releases).
+        let completions = self.gpu.advance_to(horizon);
+        self.now = horizon;
+        for completion in completions {
+            self.handle_completion(completion.tag, completion.finished_at, completion.execution_time(), completion.stream);
+        }
+
+        let summary = self
+            .metrics
+            .summarize(horizon)
+            .with_gpu_utilization(self.gpu.average_utilization());
+        ExperimentOutcome {
+            summary,
+            mret_trace: std::mem::take(&mut self.mret_trace),
+            config_label: format!("{} {}", self.config.partition.policy, self.config.partition.label()),
+        }
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    fn handle_release(&mut self, job: Job) {
+        self.metrics.record_release(&job);
+        let task = self
+            .taskset
+            .task(job.id.task)
+            .expect("released job refers to a task of this set")
+            .clone();
+        let util = self.mret.task_utilization(task.id, task.period);
+        let home = self.assignment[task.id.index()];
+        self.loads[home].update_task_util(task.id, util);
+
+        let needs_admission = match job.priority {
+            Priority::Low => true,
+            Priority::High => self.config.hp_admission,
+        };
+        let context = if needs_admission {
+            match self.admit(&task, job.priority, util, home) {
+                Some(ctx) => ctx,
+                None => {
+                    self.metrics.record_rejection(&job);
+                    return;
+                }
+            }
+        } else {
+            home
+        };
+        if context != home && job.priority == Priority::Low {
+            // Zero-delay migration: the task's home context moves with it.
+            self.loads[home].unassign_task(task.id);
+            self.loads[context].assign_task(task.id, task.priority, util);
+            self.assignment[task.id.index()] = context;
+        }
+        self.loads[context].activate_job(job.id, job.priority, util);
+
+        let stage_mrets = self.mret.stage_mrets(task.id);
+        let relative = virtual_deadlines(&stage_mrets, task.relative_deadline);
+        let virtual_deadlines: Vec<SimTime> = relative.iter().map(|d| job.release + *d).collect();
+        let stage_count = stage_mrets.len().max(1);
+        let active = ActiveJob {
+            job,
+            context,
+            next_stage: 0,
+            stage_count,
+            virtual_deadlines,
+            predecessor_missed: false,
+        };
+        let ready = self.ready_stage(&active);
+        self.queues[context].push(ready);
+        self.active.insert(job.id, active);
+    }
+
+    /// Admission test (Eq. 11–12) with migration: returns the context to run
+    /// in, or `None` if every context rejects the job.
+    fn admit(&self, task: &TaskSpec, priority: Priority, util: f64, home: usize) -> Option<usize> {
+        let admits = |ctx: usize| -> bool {
+            match priority {
+                Priority::Low => self.loads[ctx].admits_lp(util),
+                Priority::High => self.loads[ctx].admits_hp(util),
+            }
+        };
+        if admits(home) {
+            return Some(home);
+        }
+        // Migration candidates: every other context that passes the test;
+        // pick the one with the earliest predicted finish time.
+        let mut best: Option<(usize, f64)> = None;
+        for ctx in 0..self.loads.len() {
+            if ctx == home || !admits(ctx) {
+                continue;
+            }
+            let finish = self.predicted_finish_us(ctx) + self.mret.task_mret(task.id).as_micros_f64();
+            if best.map(|(_, f)| finish < f).unwrap_or(true) {
+                best = Some((ctx, finish));
+            }
+        }
+        best.map(|(ctx, _)| ctx)
+    }
+
+    /// Predicted time (µs from now) for context `ctx` to drain its currently
+    /// active jobs, assuming its streams share the backlog evenly.
+    fn predicted_finish_us(&self, ctx: usize) -> f64 {
+        let backlog: f64 = self
+            .active
+            .values()
+            .filter(|a| a.context == ctx)
+            .map(|a| self.mret.remaining_mret(a.job.id.task, a.next_stage).as_micros_f64())
+            .sum();
+        backlog / f64::from(self.config.partition.streams_per_context.max(1))
+    }
+
+    fn ready_stage(&self, active: &ActiveJob) -> ReadyStage {
+        let stage = active.next_stage;
+        let is_last = stage + 1 == active.stage_count;
+        let edf_deadline = if is_last {
+            active.job.absolute_deadline
+        } else {
+            active
+                .virtual_deadlines
+                .get(stage)
+                .copied()
+                .unwrap_or(active.job.absolute_deadline)
+        };
+        ReadyStage {
+            job: active.job.id,
+            stage,
+            priority: active.job.priority,
+            is_last_stage: is_last,
+            predecessor_missed: active.predecessor_missed,
+            edf_deadline,
+        }
+    }
+
+    fn handle_completion(&mut self, tag: u64, finished_at: SimTime, execution: SimDuration, stream: StreamId) {
+        let Some((job_id, stage)) = self.tag_map.remove(&tag) else { return };
+        self.stream_busy.insert(stream, false);
+        let task = job_id.task;
+        if self.config.record_mret_trace {
+            let predicted = self.mret.stage_mret(task, stage);
+            self.mret_trace.push(MretSample { at: finished_at, task, stage, actual: execution, predicted });
+        }
+        self.mret.record(task, stage, execution);
+
+        let Some(mut active) = self.active.remove(&job_id) else { return };
+        let missed_virtual = active
+            .virtual_deadlines
+            .get(stage)
+            .map(|d| finished_at > *d)
+            .unwrap_or(false);
+        if stage + 1 < active.stage_count {
+            active.next_stage = stage + 1;
+            active.predecessor_missed = missed_virtual;
+            let ready = self.ready_stage(&active);
+            self.queues[active.context].push(ready);
+            self.active.insert(job_id, active);
+        } else {
+            self.metrics.record_completion(&active.job, finished_at);
+            self.loads[active.context].deactivate_job(job_id);
+        }
+    }
+
+    /// Dispatches ready stages onto idle streams, most urgent first.
+    fn dispatch(&mut self) {
+        for ctx in 0..self.queues.len() {
+            loop {
+                if self.queues[ctx].is_empty() {
+                    break;
+                }
+                let Some(stream) = self.idle_stream(ctx) else { break };
+                let Some(ready) = self.queues[ctx].pop() else { break };
+                if let Err(_e) = self.submit_stage(stream, &ready) {
+                    // Submission can only fail on internal inconsistencies;
+                    // drop the stage rather than wedging the whole run.
+                    debug_assert!(false, "stage submission failed");
+                }
+            }
+        }
+    }
+
+    fn idle_stream(&self, ctx: usize) -> Option<StreamId> {
+        self.streams[ctx]
+            .iter()
+            .copied()
+            .find(|s| !self.stream_busy.get(s).copied().unwrap_or(false))
+    }
+
+    fn submit_stage(&mut self, stream: StreamId, ready: &ReadyStage) -> Result<()> {
+        let Some(active) = self.active.get(&ready.job) else { return Ok(()) };
+        let job = active.job;
+        let profile = self
+            .profiles
+            .get(&job.model)
+            .ok_or_else(|| CoreError::InvalidConfig(format!("missing profile for {}", job.model)))?;
+        let staging = self.config.ablation.staging;
+        let kernels = if staging {
+            profile.stage_kernels(ready.stage, job.batch_size)
+        } else {
+            profile.job_kernels(job.batch_size)
+        };
+        let is_first = ready.stage == 0;
+        let is_last = ready.stage + 1 == active.stage_count;
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let mut item = WorkItem::new(tag).with_kernels(kernels);
+        if is_first {
+            item = item.with_h2d_bytes(profile.input_bytes(job.batch_size));
+        }
+        if is_last {
+            item = item.with_d2h_bytes(profile.output_bytes(job.batch_size));
+        }
+        self.gpu.submit(stream, item)?;
+        self.stream_busy.insert(stream, true);
+        self.tag_map.insert(tag, (ready.job, ready.stage));
+        Ok(())
+    }
+}
+
+/// Per-stage MRET seeds for a task, respecting the staging ablation (a job
+/// dispatched as a whole unit has a single "stage" whose seed is the whole
+/// AFET).
+fn effective_stage_seeds(afet: &AfetProfiler, task: &TaskSpec, config: &DarisConfig) -> Vec<SimDuration> {
+    let stages = afet.stage_afets(task.model);
+    if config.ablation.staging {
+        stages.to_vec()
+    } else {
+        vec![stages.iter().fold(SimDuration::ZERO, |a, d| a + *d)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuPartition;
+
+    fn short_run(config: DarisConfig, taskset: &TaskSet, millis: u64) -> ExperimentOutcome {
+        let mut scheduler = DarisScheduler::new(taskset, config).expect("scheduler builds");
+        scheduler.run_until(SimTime::from_millis(millis))
+    }
+
+    #[test]
+    fn unet_taskset_completes_jobs_under_mps() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let outcome = short_run(DarisConfig::new(GpuPartition::mps(6, 6.0)), &taskset, 250);
+        assert!(outcome.summary.total.completed > 20, "{:?}", outcome.summary.total);
+        assert!(outcome.summary.throughput_jps > 100.0);
+        // HP jobs are never rejected without Overload+HPA.
+        assert_eq!(outcome.summary.high.rejected, 0);
+        assert!(outcome.summary.gpu_utilization.unwrap() > 0.2);
+        assert!(outcome.config_label.contains("MPS"));
+    }
+
+    #[test]
+    fn str_policy_uses_a_single_context() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::str_streams(4));
+        let scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        assert_eq!(scheduler.gpu().context_count(), 1);
+        assert_eq!(scheduler.gpu().stream_count(), 4);
+        assert!(scheduler.assignment().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn high_priority_misses_are_rare_and_lp_misses_bounded() {
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let outcome = short_run(DarisConfig::new(GpuPartition::mps(6, 6.0)), &taskset, 400);
+        let hp = &outcome.summary.high;
+        let lp = &outcome.summary.low;
+        assert!(hp.completed > 50);
+        assert!(
+            hp.deadline_miss_rate < 0.02,
+            "HP DMR should be (near) zero, got {}",
+            hp.deadline_miss_rate
+        );
+        assert!(lp.deadline_miss_rate < 0.30, "LP DMR {}", lp.deadline_miss_rate);
+    }
+
+    #[test]
+    fn overloaded_lp_jobs_are_rejected_not_missed() {
+        // The ResNet18 set offers 150 % of capacity; the admission test must
+        // shed LP load.
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let outcome = short_run(DarisConfig::new(GpuPartition::mps(6, 2.0)), &taskset, 300);
+        assert!(outcome.summary.low.rejected > 0, "admission test never rejected anything");
+        assert_eq!(outcome.summary.high.rejected, 0);
+    }
+
+    #[test]
+    fn hp_admission_flag_allows_hp_rejections() {
+        let taskset = TaskSet::with_ratio(
+            DnnKind::ResNet18,
+            daris_workload::RatioScenario::Overload,
+            0.9,
+        );
+        let config = DarisConfig::new(GpuPartition::mps(6, 6.0)).with_hp_admission();
+        let outcome = short_run(config, &taskset, 300);
+        assert!(outcome.summary.high.rejected > 0, "Overload+HPA should drop some HP jobs");
+        assert!(outcome.summary.high.deadline_miss_rate < 0.05);
+    }
+
+    #[test]
+    fn mret_trace_is_recorded_when_enabled() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0)).with_mret_trace();
+        let outcome = short_run(config, &taskset, 150);
+        assert!(!outcome.mret_trace.is_empty());
+        for sample in &outcome.mret_trace {
+            assert!(sample.actual > SimDuration::ZERO);
+            assert!(sample.predicted > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn no_staging_dispatches_whole_jobs() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0))
+            .with_ablation(crate::AblationFlags::no_staging());
+        let mut scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        let outcome = scheduler.run_until(SimTime::from_millis(200));
+        assert!(outcome.summary.total.completed > 10);
+        // Each completed job produced exactly one MRET window entry per task
+        // (a single stage), so stage count seen by the estimator is 1.
+        assert_eq!(scheduler.mret().stage_count(taskset.tasks()[0].id), 1);
+    }
+
+    #[test]
+    fn empty_taskset_is_rejected() {
+        let empty: TaskSet = std::iter::empty::<TaskSpec>().collect();
+        let err = DarisScheduler::new(&empty, DarisConfig::new(GpuPartition::mps(2, 1.0)));
+        assert!(matches!(err, Err(CoreError::EmptyTaskSet)));
+    }
+
+    #[test]
+    fn weights_are_resident_in_device_memory() {
+        let taskset = TaskSet::mixed();
+        let scheduler = DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 2.0))).unwrap();
+        let stats = scheduler.gpu().memory().stats();
+        assert_eq!(stats.allocations, 3, "one weight allocation per model kind");
+        assert!(stats.allocated > 100_000_000);
+    }
+}

@@ -1,0 +1,244 @@
+//! The stage scheduler: eight fixed priority levels with EDF tie-breaking
+//! (Sec. IV-B2).
+
+use std::collections::BinaryHeap;
+use std::cmp::Ordering;
+
+use daris_gpu::SimTime;
+use daris_workload::{JobId, Priority};
+
+use crate::AblationFlags;
+
+/// A stage that is ready to be dispatched to a GPU stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyStage {
+    /// The job this stage belongs to.
+    pub job: JobId,
+    /// Stage index within the job.
+    pub stage: usize,
+    /// Task priority level.
+    pub priority: Priority,
+    /// Whether this is the job's final stage.
+    pub is_last_stage: bool,
+    /// Whether the immediately preceding stage missed its virtual deadline.
+    pub predecessor_missed: bool,
+    /// Deadline used for EDF ordering inside a priority level: the stage's
+    /// absolute virtual deadline (the job's absolute deadline for the last
+    /// stage).
+    pub edf_deadline: SimTime,
+}
+
+impl ReadyStage {
+    /// The fixed priority level of this stage under the given ablation flags:
+    /// 0 is the most urgent, 7 the least.
+    ///
+    /// The paper extends the two task priorities to eight stage levels: HP
+    /// before LP, then (last stage && predecessor missed) before (last stage)
+    /// before (predecessor missed) before ordinary stages. Ablations collapse
+    /// the corresponding bit.
+    pub fn level(&self, flags: &AblationFlags) -> u8 {
+        let class = if flags.fixed_task_priority && self.priority == Priority::Low { 4 } else { 0 };
+        let last = flags.prioritize_last_stage && self.is_last_stage;
+        let missed = flags.boost_after_miss && self.predecessor_missed;
+        let sub = match (last, missed) {
+            (true, true) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (false, false) => 3,
+        };
+        class + sub
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedStage {
+    level: u8,
+    edf_deadline: SimTime,
+    sequence: u64,
+    stage: ReadyStage,
+}
+
+impl Ord for QueuedStage {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (level, deadline)
+        // pops first. The sequence number keeps ordering total and FIFO among
+        // exact ties.
+        other
+            .level
+            .cmp(&self.level)
+            .then_with(|| other.edf_deadline.cmp(&self.edf_deadline))
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for QueuedStage {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of ready stages for one context.
+///
+/// ```
+/// use daris_core::{AblationFlags, ReadyStage, StageQueue};
+/// use daris_gpu::SimTime;
+/// use daris_workload::{JobId, Priority, TaskId};
+///
+/// let mut q = StageQueue::new(AblationFlags::full());
+/// let mk = |task, priority, deadline_ms| ReadyStage {
+///     job: JobId { task: TaskId(task), release_index: 0 },
+///     stage: 0,
+///     priority,
+///     is_last_stage: false,
+///     predecessor_missed: false,
+///     edf_deadline: SimTime::from_millis(deadline_ms),
+/// };
+/// q.push(mk(1, Priority::Low, 5));
+/// q.push(mk(2, Priority::High, 50));
+/// // The high-priority stage pops first despite its later deadline.
+/// assert_eq!(q.pop().unwrap().job.task, TaskId(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StageQueue {
+    flags: AblationFlags,
+    heap: BinaryHeap<QueuedStage>,
+    next_sequence: u64,
+}
+
+impl StageQueue {
+    /// Creates an empty queue using the given ablation flags for level
+    /// computation.
+    pub fn new(flags: AblationFlags) -> Self {
+        StageQueue { flags, heap: BinaryHeap::new(), next_sequence: 0 }
+    }
+
+    /// Enqueues a ready stage.
+    pub fn push(&mut self, stage: ReadyStage) {
+        let level = stage.level(&self.flags);
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(QueuedStage { level, edf_deadline: stage.edf_deadline, sequence, stage });
+    }
+
+    /// Removes and returns the most urgent stage.
+    pub fn pop(&mut self) -> Option<ReadyStage> {
+        self.heap.pop().map(|q| q.stage)
+    }
+
+    /// Peeks at the most urgent stage without removing it.
+    pub fn peek(&self) -> Option<&ReadyStage> {
+        self.heap.peek().map(|q| &q.stage)
+    }
+
+    /// Number of queued stages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_workload::TaskId;
+
+    fn stage(
+        task: u32,
+        priority: Priority,
+        last: bool,
+        missed: bool,
+        deadline_ms: u64,
+    ) -> ReadyStage {
+        ReadyStage {
+            job: JobId { task: TaskId(task), release_index: 0 },
+            stage: 0,
+            priority,
+            is_last_stage: last,
+            predecessor_missed: missed,
+            edf_deadline: SimTime::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn levels_span_eight_values() {
+        let flags = AblationFlags::full();
+        let mut seen = std::collections::BTreeSet::new();
+        for priority in [Priority::High, Priority::Low] {
+            for last in [true, false] {
+                for missed in [true, false] {
+                    seen.insert(stage(0, priority, last, missed, 1).level(&flags));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 8);
+        assert_eq!(*seen.iter().next().unwrap(), 0);
+        assert_eq!(*seen.iter().last().unwrap(), 7);
+    }
+
+    #[test]
+    fn hp_always_beats_lp_with_fixed_priority() {
+        let flags = AblationFlags::full();
+        // Even the least favourable HP stage outranks the best LP stage.
+        let hp_plain = stage(0, Priority::High, false, false, 100).level(&flags);
+        let lp_best = stage(1, Priority::Low, true, true, 1).level(&flags);
+        assert!(hp_plain < lp_best);
+    }
+
+    #[test]
+    fn ablations_collapse_levels() {
+        let no_last = AblationFlags::no_last();
+        assert_eq!(
+            stage(0, Priority::High, true, false, 1).level(&no_last),
+            stage(0, Priority::High, false, false, 1).level(&no_last)
+        );
+        let no_prior = AblationFlags::no_prior();
+        assert_eq!(
+            stage(0, Priority::Low, false, true, 1).level(&no_prior),
+            stage(0, Priority::Low, false, false, 1).level(&no_prior)
+        );
+        let no_fixed = AblationFlags::no_fixed();
+        assert_eq!(
+            stage(0, Priority::High, false, false, 1).level(&no_fixed),
+            stage(0, Priority::Low, false, false, 1).level(&no_fixed)
+        );
+    }
+
+    #[test]
+    fn edf_breaks_ties_within_a_level() {
+        let mut q = StageQueue::new(AblationFlags::full());
+        q.push(stage(1, Priority::High, false, false, 30));
+        q.push(stage(2, Priority::High, false, false, 10));
+        q.push(stage(3, Priority::High, false, false, 20));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(2));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(3));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn last_stage_and_miss_boost_ordering() {
+        let mut q = StageQueue::new(AblationFlags::full());
+        q.push(stage(1, Priority::High, false, false, 1));
+        q.push(stage(2, Priority::High, true, false, 50));
+        q.push(stage(3, Priority::High, false, true, 50));
+        q.push(stage(4, Priority::High, true, true, 90));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|s| s.job.task.0).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_among_exact_ties() {
+        let mut q = StageQueue::new(AblationFlags::full());
+        q.push(stage(1, Priority::Low, false, false, 10));
+        q.push(stage(2, Priority::Low, false, false, 10));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().job.task, TaskId(1));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(1));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(2));
+        assert!(q.is_empty());
+    }
+}

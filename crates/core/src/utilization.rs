@@ -1,0 +1,169 @@
+//! Per-context utilization accounting (Eq. 3–7) and the admission test
+//! (Eq. 11–12).
+
+use std::collections::HashMap;
+
+use daris_workload::{JobId, Priority, TaskId};
+
+/// Tracks the utilization of one MPS context.
+///
+/// * `assigned` utilization (Eq. 4–6) covers every task assigned to the
+///   context and is used for offline load balancing;
+/// * `active` low-priority utilization (Eq. 7) covers only LP jobs that have
+///   been admitted and have not finished, and is what the online admission
+///   test charges against.
+#[derive(Debug, Clone, Default)]
+pub struct ContextLoad {
+    /// Streams available in this context (`Ns`), the admission-test capacity.
+    streams: u32,
+    /// Assigned utilization per task (both priorities), keyed by task.
+    assigned: HashMap<TaskId, (Priority, f64)>,
+    /// Active (admitted, unfinished) jobs and the utilization they charge.
+    active: HashMap<JobId, (Priority, f64)>,
+}
+
+impl ContextLoad {
+    /// Creates a load tracker for a context with `streams` streams.
+    pub fn new(streams: u32) -> Self {
+        ContextLoad { streams, assigned: HashMap::new(), active: HashMap::new() }
+    }
+
+    /// The context capacity used by the admission test (`Ns`).
+    pub fn capacity(&self) -> f64 {
+        f64::from(self.streams)
+    }
+
+    /// Assigns a task to this context with utilization `util` (offline phase
+    /// or migration bookkeeping).
+    pub fn assign_task(&mut self, task: TaskId, priority: Priority, util: f64) {
+        self.assigned.insert(task, (priority, util));
+    }
+
+    /// Removes a task assignment (migration away from this context).
+    pub fn unassign_task(&mut self, task: TaskId) {
+        self.assigned.remove(&task);
+    }
+
+    /// Updates the recorded utilization of an assigned task (MRET drift).
+    pub fn update_task_util(&mut self, task: TaskId, util: f64) {
+        if let Some(entry) = self.assigned.get_mut(&task) {
+            entry.1 = util;
+        }
+    }
+
+    /// Whether the task is assigned to this context.
+    pub fn has_task(&self, task: TaskId) -> bool {
+        self.assigned.contains_key(&task)
+    }
+
+    /// Total assigned utilization of one priority class
+    /// (`U^{h,t}_k` / `U^{l,t}_k`, Eq. 4–5).
+    pub fn assigned_util(&self, priority: Priority) -> f64 {
+        self.assigned.values().filter(|(p, _)| *p == priority).map(|(_, u)| u).sum()
+    }
+
+    /// Total assigned utilization (Eq. 6).
+    pub fn total_util(&self) -> f64 {
+        self.assigned.values().map(|(_, u)| u).sum()
+    }
+
+    /// Registers an admitted job as active, charging `util`.
+    pub fn activate_job(&mut self, job: JobId, priority: Priority, util: f64) {
+        self.active.insert(job, (priority, util));
+    }
+
+    /// Releases an active job's utilization (completion or abandonment).
+    pub fn deactivate_job(&mut self, job: JobId) {
+        self.active.remove(&job);
+    }
+
+    /// Active utilization of one priority class (`U^{l,a}_k` for LP, Eq. 7).
+    pub fn active_util(&self, priority: Priority) -> f64 {
+        self.active.values().filter(|(p, _)| *p == priority).map(|(_, u)| u).sum()
+    }
+
+    /// Number of active jobs of a priority class.
+    pub fn active_jobs(&self, priority: Priority) -> usize {
+        self.active.values().filter(|(p, _)| *p == priority).count()
+    }
+
+    /// Remaining utilization available to LP jobs (Eq. 11):
+    /// `U^r_k = Ns - U^{h,t}_k`.
+    pub fn remaining_for_lp(&self) -> f64 {
+        self.capacity() - self.assigned_util(Priority::High)
+    }
+
+    /// The LP admission test (Eq. 12): admit a job of utilization `util` iff
+    /// `U^{l,a}_k + u_j < U^r_k`.
+    pub fn admits_lp(&self, util: f64) -> bool {
+        self.active_util(Priority::Low) + util < self.remaining_for_lp()
+    }
+
+    /// The HP admission test used by the `Overload+HPA` mode: admit iff the
+    /// total active utilization plus the job stays below the context
+    /// capacity.
+    pub fn admits_hp(&self, util: f64) -> bool {
+        self.active_util(Priority::High) + self.active_util(Priority::Low) + util < self.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(task: u32, idx: u64) -> JobId {
+        JobId { task: TaskId(task), release_index: idx }
+    }
+
+    #[test]
+    fn assigned_utilization_by_class() {
+        let mut load = ContextLoad::new(2);
+        load.assign_task(TaskId(0), Priority::High, 0.3);
+        load.assign_task(TaskId(1), Priority::High, 0.2);
+        load.assign_task(TaskId(2), Priority::Low, 0.4);
+        assert!((load.assigned_util(Priority::High) - 0.5).abs() < 1e-9);
+        assert!((load.assigned_util(Priority::Low) - 0.4).abs() < 1e-9);
+        assert!((load.total_util() - 0.9).abs() < 1e-9);
+        assert!(load.has_task(TaskId(2)));
+        load.unassign_task(TaskId(2));
+        assert!(!load.has_task(TaskId(2)));
+        assert!((load.total_util() - 0.5).abs() < 1e-9);
+        load.update_task_util(TaskId(0), 0.6);
+        assert!((load.assigned_util(Priority::High) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn admission_test_matches_equations_11_and_12() {
+        let mut load = ContextLoad::new(2);
+        // HP tasks reserve 0.8 of the 2.0 capacity.
+        load.assign_task(TaskId(0), Priority::High, 0.5);
+        load.assign_task(TaskId(1), Priority::High, 0.3);
+        assert!((load.remaining_for_lp() - 1.2).abs() < 1e-9);
+        // 0.7 active LP: a 0.4 job fits (0.7 + 0.4 < 1.2), a 0.6 job does not.
+        load.activate_job(job(5, 0), Priority::Low, 0.7);
+        assert!(load.admits_lp(0.4));
+        assert!(!load.admits_lp(0.6));
+        // Completion frees the utilization.
+        load.deactivate_job(job(5, 0));
+        assert!(load.admits_lp(0.6));
+        assert_eq!(load.active_jobs(Priority::Low), 0);
+    }
+
+    #[test]
+    fn hp_admission_uses_total_active_load() {
+        let mut load = ContextLoad::new(1);
+        load.activate_job(job(0, 0), Priority::High, 0.6);
+        assert!(load.admits_hp(0.3));
+        assert!(!load.admits_hp(0.5));
+        load.activate_job(job(1, 0), Priority::Low, 0.3);
+        assert!(!load.admits_hp(0.2));
+    }
+
+    #[test]
+    fn empty_context_admits_up_to_capacity() {
+        let load = ContextLoad::new(3);
+        assert!(load.admits_lp(2.9));
+        assert!(!load.admits_lp(3.0));
+        assert_eq!(load.active_jobs(Priority::High), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! MPS contexts: SM quota owners.
+
+use std::fmt;
+
+/// Identifier of an MPS context on the simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId(pub(crate) u32);
+
+impl ContextId {
+    /// Index of the context in creation order (0-based).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+/// Read-only view of an MPS context's configuration and instantaneous state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextState {
+    /// The context id.
+    pub id: ContextId,
+    /// SM quota assigned at creation (Eq. 9 of the paper).
+    pub sm_quota: u32,
+    /// Streams created inside this context.
+    pub stream_count: usize,
+    /// Streams currently executing or launching a kernel.
+    pub busy_streams: usize,
+    /// SMs currently allocated to this context's kernels after contention
+    /// scaling (zero when the context is idle).
+    pub allocated_sms: f64,
+}
+
+/// Internal mutable context record.
+#[derive(Debug, Clone)]
+pub(crate) struct Context {
+    pub(crate) id: ContextId,
+    pub(crate) sm_quota: u32,
+    pub(crate) streams: Vec<crate::StreamId>,
+}
+
+impl Context {
+    pub(crate) fn new(id: ContextId, sm_quota: u32) -> Self {
+        Context { id, sm_quota, streams: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        let id = ContextId(5);
+        assert_eq!(id.to_string(), "ctx5");
+        assert_eq!(id.index(), 5);
+    }
+
+    #[test]
+    fn context_records_streams() {
+        let mut ctx = Context::new(ContextId(0), 34);
+        assert!(ctx.streams.is_empty());
+        ctx.streams.push(crate::StreamId(0));
+        assert_eq!(ctx.streams.len(), 1);
+        assert_eq!(ctx.sm_quota, 34);
+    }
+}

@@ -1,0 +1,1046 @@
+//! The discrete-event GPU engine.
+//!
+//! The engine advances simulated time by repeatedly finding the next state
+//! transition (a kernel finishing its launch phase, a kernel exhausting its
+//! work, a copy completing), applying it, and re-planning SM allocations for
+//! everything still running. SM allocation follows a two-level model:
+//!
+//! 1. **Within a context**: the context's SM quota is water-filled across its
+//!    concurrently computing kernels, capped by each kernel's parallelism.
+//! 2. **Across contexts**: if the summed allocations of busy contexts exceed
+//!    the physical SM count (oversubscription), every allocation is scaled
+//!    down proportionally and an [`InterferenceModel`](crate::InterferenceModel)
+//!    efficiency factor is applied.
+//!
+//! Kernel progress is the time-integral of its allocated SMs; a kernel
+//! completes when the integral reaches its `work`.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::context::Context;
+use crate::kernel::{KernelDesc, KernelPhase, WorkItem, WorkItemId};
+use crate::stream::Stream;
+use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::{
+    ContextId, ContextState, GpuError, GpuSpec, MemoryPool, Result, SimDuration, SimTime,
+    StreamId, StreamState, XorShiftRng,
+};
+
+/// Work below this many SM-microseconds counts as finished (guards against
+/// floating-point residue keeping a kernel alive forever).
+const WORK_EPSILON: f64 = 1e-6;
+
+/// Completion notification for a submitted [`WorkItem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Caller-chosen tag from the submitted work item.
+    pub tag: u64,
+    /// Engine-assigned item id.
+    pub item: WorkItemId,
+    /// Stream the item ran on.
+    pub stream: StreamId,
+    /// Context owning that stream.
+    pub context: ContextId,
+    /// When the item was submitted to the stream.
+    pub submitted_at: SimTime,
+    /// When the item started occupying device resources (copy-in or first
+    /// kernel launch), i.e. when it reached the front of its stream.
+    pub started_at: SimTime,
+    /// When the item fully completed (after its device-to-host copy).
+    pub finished_at: SimTime,
+}
+
+impl Completion {
+    /// Time from reaching the front of the stream to completion: the
+    /// "execution time" that DARIS feeds into its MRET estimator.
+    pub fn execution_time(&self) -> SimDuration {
+        self.finished_at - self.started_at
+    }
+
+    /// Time from submission to completion (includes stream queueing).
+    pub fn turnaround(&self) -> SimDuration {
+        self.finished_at - self.submitted_at
+    }
+}
+
+/// A sample of instantaneous device utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuUtilizationSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// SMs allocated across all contexts (after contention scaling).
+    pub allocated_sms: f64,
+    /// `allocated_sms / sm_count`.
+    pub fraction: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ItemState {
+    /// Behind other items in its stream.
+    Queued,
+    /// At the front of its stream, waiting for the copy engine.
+    PendingCopyIn,
+    /// Host-to-device copy in flight.
+    CopyingIn,
+    /// Executing kernel `kernel_index`.
+    Running(KernelPhase),
+    /// Waiting for the copy engine for its output transfer.
+    PendingCopyOut,
+    /// Device-to-host copy in flight.
+    CopyingOut,
+    /// Finished (kept only until reported).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct ItemInstance {
+    id: WorkItemId,
+    tag: u64,
+    stream: StreamId,
+    context: ContextId,
+    spec: WorkItem,
+    submitted_at: SimTime,
+    started_at: Option<SimTime>,
+    state: ItemState,
+    kernel_index: usize,
+    launch_remaining: SimDuration,
+    work_remaining: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyDirection {
+    HostToDevice,
+    DeviceToHost,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveCopy {
+    item: WorkItemId,
+    direction: CopyDirection,
+    remaining: SimDuration,
+}
+
+/// The simulated GPU device.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Gpu {
+    spec: GpuSpec,
+    now: SimTime,
+    contexts: Vec<Context>,
+    streams: Vec<Stream>,
+    items: HashMap<WorkItemId, ItemInstance>,
+    next_item_id: u64,
+    copy_queue: VecDeque<(WorkItemId, CopyDirection)>,
+    active_copy: Option<ActiveCopy>,
+    /// Current SM rate (SMs × efficiency) per actively computing item.
+    rates: HashMap<WorkItemId, f64>,
+    memory: MemoryPool,
+    trace: Trace,
+    rng: XorShiftRng,
+    completed_work: f64,
+    busy_sm_integral_us: f64,
+    pending_count: usize,
+}
+
+impl Gpu {
+    /// Creates a device from a [`GpuSpec`].
+    pub fn new(spec: GpuSpec) -> Self {
+        let memory = MemoryPool::new(spec.memory_bytes);
+        let rng = XorShiftRng::new(spec.jitter_seed);
+        Gpu {
+            spec,
+            now: SimTime::ZERO,
+            contexts: Vec::new(),
+            streams: Vec::new(),
+            items: HashMap::new(),
+            next_item_id: 0,
+            copy_queue: VecDeque::new(),
+            active_copy: None,
+            rates: HashMap::new(),
+            memory,
+            trace: Trace::new(),
+            rng,
+            completed_work: 0.0,
+            busy_sm_integral_us: 0.0,
+            pending_count: 0,
+        }
+    }
+
+    /// Device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Creates an MPS context with an SM quota (clamped to the device width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::ZeroQuota`] for a zero quota.
+    pub fn add_context(&mut self, sm_quota: u32) -> Result<ContextId> {
+        if sm_quota == 0 {
+            return Err(GpuError::ZeroQuota);
+        }
+        let quota = sm_quota.min(self.spec.sm_count);
+        let id = ContextId(self.contexts.len() as u32);
+        self.contexts.push(Context::new(id, quota));
+        Ok(id)
+    }
+
+    /// Creates a CUDA stream inside `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownContext`] for an unknown context.
+    pub fn add_stream(&mut self, context: ContextId) -> Result<StreamId> {
+        if context.index() >= self.contexts.len() {
+            return Err(GpuError::UnknownContext(context));
+        }
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(Stream::new(id, context));
+        self.contexts[context.index()].streams.push(id);
+        Ok(id)
+    }
+
+    /// Number of contexts created so far.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Number of streams created so far.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Ids of all contexts in creation order.
+    pub fn context_ids(&self) -> Vec<ContextId> {
+        self.contexts.iter().map(|c| c.id).collect()
+    }
+
+    /// Ids of all streams in creation order.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        self.streams.iter().map(|s| s.id).collect()
+    }
+
+    /// Ids of the streams belonging to `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownContext`] for an unknown context.
+    pub fn streams_of(&self, context: ContextId) -> Result<Vec<StreamId>> {
+        self.contexts
+            .get(context.index())
+            .map(|c| c.streams.clone())
+            .ok_or(GpuError::UnknownContext(context))
+    }
+
+    /// Enables kernel/item tracing.
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Shared device-memory pool.
+    pub fn memory(&self) -> &MemoryPool {
+        &self.memory
+    }
+
+    /// Mutable access to the device-memory pool (weight loading and the like).
+    pub fn memory_mut(&mut self) -> &mut MemoryPool {
+        &mut self.memory
+    }
+
+    /// Submits a work item to a stream; the item starts when it reaches the
+    /// front of that stream's FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownStream`] for an unknown stream, or a
+    /// validation error for an empty/invalid item.
+    pub fn submit(&mut self, stream: StreamId, item: WorkItem) -> Result<WorkItemId> {
+        item.validate()?;
+        let context = self
+            .streams
+            .get(stream.index())
+            .map(|s| s.context)
+            .ok_or(GpuError::UnknownStream(stream))?;
+        let id = WorkItemId(self.next_item_id);
+        self.next_item_id += 1;
+        let tag = item.tag;
+        let instance = ItemInstance {
+            id,
+            tag,
+            stream,
+            context,
+            spec: item,
+            submitted_at: self.now,
+            started_at: None,
+            state: ItemState::Queued,
+            kernel_index: 0,
+            launch_remaining: SimDuration::ZERO,
+            work_remaining: 0.0,
+        };
+        self.items.insert(id, instance);
+        self.streams[stream.index()].queue.push_back(id);
+        self.pending_count += 1;
+        self.trace.record(TraceEvent {
+            at: self.now,
+            kind: TraceEventKind::ItemSubmitted,
+            item: id,
+            tag,
+            stream,
+            context,
+            label: None,
+        });
+        // If the stream was idle, the new item starts immediately.
+        if self.streams[stream.index()].queue.len() == 1 {
+            self.activate_front(stream);
+        }
+        self.replan();
+        Ok(id)
+    }
+
+    /// Whether `stream` currently has no queued or running work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownStream`] for an unknown stream.
+    pub fn stream_is_idle(&self, stream: StreamId) -> Result<bool> {
+        self.streams
+            .get(stream.index())
+            .map(|s| s.queue.is_empty())
+            .ok_or(GpuError::UnknownStream(stream))
+    }
+
+    /// Number of work items queued on `stream` (including the running one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownStream`] for an unknown stream.
+    pub fn stream_depth(&self, stream: StreamId) -> Result<usize> {
+        self.streams
+            .get(stream.index())
+            .map(|s| s.queue.len())
+            .ok_or(GpuError::UnknownStream(stream))
+    }
+
+    /// Snapshot of a stream's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownStream`] for an unknown stream.
+    pub fn stream_state(&self, stream: StreamId) -> Result<StreamState> {
+        let s = self.streams.get(stream.index()).ok_or(GpuError::UnknownStream(stream))?;
+        let busy = s
+            .active_item()
+            .and_then(|id| self.items.get(&id))
+            .map(|i| !matches!(i.state, ItemState::Queued | ItemState::Done))
+            .unwrap_or(false);
+        Ok(StreamState { id: s.id, context: s.context, queued_items: s.queue.len(), busy })
+    }
+
+    /// Snapshot of a context's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpuError::UnknownContext`] for an unknown context.
+    pub fn context_state(&self, context: ContextId) -> Result<ContextState> {
+        let c = self.contexts.get(context.index()).ok_or(GpuError::UnknownContext(context))?;
+        let mut busy_streams = 0;
+        let mut allocated = 0.0;
+        for sid in &c.streams {
+            if let Ok(st) = self.stream_state(*sid) {
+                if st.busy {
+                    busy_streams += 1;
+                }
+            }
+            if let Some(item) = self.streams[sid.index()].active_item() {
+                allocated += self.rates.get(&item).copied().unwrap_or(0.0);
+            }
+        }
+        Ok(ContextState {
+            id: c.id,
+            sm_quota: c.sm_quota,
+            stream_count: c.streams.len(),
+            busy_streams,
+            allocated_sms: allocated,
+        })
+    }
+
+    /// Number of work items not yet completed.
+    pub fn pending_items(&self) -> usize {
+        self.pending_count
+    }
+
+    /// Total compute work completed so far, in SM-microseconds.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    /// Average device utilization (busy SM-time divided by `sm_count ×
+    /// elapsed time`) since simulation start. Returns 0 before any time has
+    /// elapsed.
+    pub fn average_utilization(&self) -> f64 {
+        let elapsed_us = self.now.as_micros_f64();
+        if elapsed_us <= 0.0 {
+            return 0.0;
+        }
+        self.busy_sm_integral_us / (elapsed_us * f64::from(self.spec.sm_count))
+    }
+
+    /// Instantaneous utilization sample.
+    pub fn utilization_sample(&self) -> GpuUtilizationSample {
+        let allocated: f64 = self.rates.values().sum();
+        GpuUtilizationSample {
+            at: self.now,
+            allocated_sms: allocated,
+            fraction: allocated / f64::from(self.spec.sm_count),
+        }
+    }
+
+    /// Time of the next internal state transition, if any work is in flight.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            earliest = Some(match earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        };
+        if let Some(copy) = &self.active_copy {
+            consider(self.now + copy.remaining);
+        }
+        for item in self.items.values() {
+            match &item.state {
+                ItemState::Running(KernelPhase::Launching) => {
+                    consider(self.now + item.launch_remaining);
+                }
+                ItemState::Running(KernelPhase::Computing) => {
+                    let rate = self.rates.get(&item.id).copied().unwrap_or(0.0);
+                    if rate > 0.0 {
+                        let us = item.work_remaining / rate;
+                        let mut d = SimDuration::from_micros_f64(us);
+                        if d.is_zero() {
+                            d = SimDuration::from_nanos(1);
+                        }
+                        consider(self.now + d);
+                    }
+                }
+                _ => {}
+            }
+        }
+        earliest
+    }
+
+    /// Advances the simulation to exactly `target`, processing every internal
+    /// transition on the way, and returns the work items that completed (in
+    /// completion order).
+    ///
+    /// If `target` is in the past, the call is a no-op returning an empty
+    /// vector.
+    pub fn advance_to(&mut self, target: SimTime) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        while self.now < target {
+            let next = self.next_event_time();
+            let step_to = match next {
+                Some(t) if t <= target => t,
+                _ => target,
+            };
+            let dt = step_to - self.now;
+            self.apply_progress(dt);
+            self.now = step_to;
+            self.apply_transitions(&mut completions);
+        }
+        // Transitions may also fall exactly on `target` when now == target.
+        self.apply_transitions(&mut completions);
+        completions
+    }
+
+    /// Runs until the device is fully idle and returns all completions.
+    pub fn run_to_idle(&mut self) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        while let Some(t) = self.next_event_time() {
+            completions.extend(self.advance_to(t));
+        }
+        completions
+    }
+
+    // ----- internal helpers -------------------------------------------------
+
+    /// Starts the item at the front of `stream` if it is still `Queued`.
+    fn activate_front(&mut self, stream: StreamId) {
+        let Some(item_id) = self.streams[stream.index()].active_item() else { return };
+        let Some(item) = self.items.get_mut(&item_id) else { return };
+        if item.state != ItemState::Queued {
+            return;
+        }
+        item.started_at = Some(self.now);
+        if item.spec.h2d_bytes > 0 {
+            item.state = ItemState::PendingCopyIn;
+            self.copy_queue.push_back((item_id, CopyDirection::HostToDevice));
+            self.trace.record(TraceEvent {
+                at: self.now,
+                kind: TraceEventKind::CopyInStarted,
+                item: item_id,
+                tag: item.tag,
+                stream,
+                context: item.context,
+                label: None,
+            });
+            self.pump_copy_engine();
+        } else {
+            self.start_kernel(item_id, 0);
+        }
+    }
+
+    /// Puts kernel `index` of `item_id` into its launch phase.
+    fn start_kernel(&mut self, item_id: WorkItemId, index: usize) {
+        let jitter = {
+            let half = self.spec.interference.work_jitter;
+            self.rng.jitter(half)
+        };
+        let default_launch = self.spec.default_launch_overhead;
+        let Some(item) = self.items.get_mut(&item_id) else { return };
+        let desc: &KernelDesc = &item.spec.kernels[index];
+        item.kernel_index = index;
+        item.launch_remaining = desc.launch_overhead.unwrap_or(default_launch);
+        item.work_remaining = desc.work * jitter;
+        item.state = ItemState::Running(KernelPhase::Launching);
+        if index == 0 {
+            self.trace.record(TraceEvent {
+                at: self.now,
+                kind: TraceEventKind::ExecutionStarted,
+                item: item_id,
+                tag: item.tag,
+                stream: item.stream,
+                context: item.context,
+                label: item.spec.kernels[0].label.clone(),
+            });
+        }
+    }
+
+    /// Starts the next queued copy if the engine is idle.
+    fn pump_copy_engine(&mut self) {
+        if self.active_copy.is_some() {
+            return;
+        }
+        let Some((item_id, direction)) = self.copy_queue.pop_front() else { return };
+        let Some(item) = self.items.get_mut(&item_id) else { return };
+        let bytes = match direction {
+            CopyDirection::HostToDevice => item.spec.h2d_bytes,
+            CopyDirection::DeviceToHost => item.spec.d2h_bytes,
+        };
+        let transfer = SimDuration::from_micros_f64(
+            bytes as f64 / self.spec.copy_bandwidth_bytes_per_us.max(1e-9),
+        );
+        let remaining = self.spec.copy_latency + transfer;
+        item.state = match direction {
+            CopyDirection::HostToDevice => ItemState::CopyingIn,
+            CopyDirection::DeviceToHost => ItemState::CopyingOut,
+        };
+        self.active_copy = Some(ActiveCopy { item: item_id, direction, remaining });
+    }
+
+    /// Applies `dt` of progress to every running kernel and the active copy.
+    fn apply_progress(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let dt_us = dt.as_micros_f64();
+        let mut executed = 0.0;
+        for item in self.items.values_mut() {
+            match item.state {
+                ItemState::Running(KernelPhase::Launching) => {
+                    item.launch_remaining = item.launch_remaining.saturating_sub(dt);
+                }
+                ItemState::Running(KernelPhase::Computing) => {
+                    let rate = self.rates.get(&item.id).copied().unwrap_or(0.0);
+                    let done = (rate * dt_us).min(item.work_remaining);
+                    item.work_remaining -= done;
+                    executed += done;
+                }
+                _ => {}
+            }
+        }
+        if let Some(copy) = &mut self.active_copy {
+            copy.remaining = copy.remaining.saturating_sub(dt);
+        }
+        self.completed_work += executed;
+        self.busy_sm_integral_us += executed;
+    }
+
+    /// Fires every transition that is due at the current time, then replans
+    /// allocations.
+    fn apply_transitions(&mut self, completions: &mut Vec<Completion>) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+
+            // Copy completion.
+            let copy_done = self
+                .active_copy
+                .as_ref()
+                .map(|c| c.remaining.is_zero())
+                .unwrap_or(false);
+            if copy_done {
+                let copy = self.active_copy.take().expect("checked above");
+                changed = true;
+                match copy.direction {
+                    CopyDirection::HostToDevice => {
+                        self.start_kernel(copy.item, 0);
+                    }
+                    CopyDirection::DeviceToHost => {
+                        self.finish_item(copy.item, completions);
+                    }
+                }
+                self.pump_copy_engine();
+            }
+
+            // Kernel phase transitions.
+            let ids: Vec<WorkItemId> = self.items.keys().copied().collect();
+            for id in ids {
+                let (state, launch_left, work_left, kernel_index, kernel_count) = {
+                    let Some(item) = self.items.get(&id) else { continue };
+                    (
+                        item.state.clone(),
+                        item.launch_remaining,
+                        item.work_remaining,
+                        item.kernel_index,
+                        item.spec.kernels.len(),
+                    )
+                };
+                match state {
+                    ItemState::Running(KernelPhase::Launching) if launch_left.is_zero() => {
+                        if let Some(item) = self.items.get_mut(&id) {
+                            item.state = ItemState::Running(KernelPhase::Computing);
+                        }
+                        changed = true;
+                    }
+                    ItemState::Running(KernelPhase::Computing) if work_left <= WORK_EPSILON => {
+                        changed = true;
+                        let (tag, stream, context, label) = {
+                            let item = self.items.get(&id).expect("item exists");
+                            (
+                                item.tag,
+                                item.stream,
+                                item.context,
+                                item.spec.kernels[kernel_index].label.clone(),
+                            )
+                        };
+                        self.trace.record(TraceEvent {
+                            at: self.now,
+                            kind: TraceEventKind::KernelCompleted,
+                            item: id,
+                            tag,
+                            stream,
+                            context,
+                            label,
+                        });
+                        if kernel_index + 1 < kernel_count {
+                            self.start_kernel(id, kernel_index + 1);
+                        } else {
+                            let d2h = self.items.get(&id).map(|i| i.spec.d2h_bytes).unwrap_or(0);
+                            if d2h > 0 {
+                                if let Some(item) = self.items.get_mut(&id) {
+                                    item.state = ItemState::PendingCopyOut;
+                                }
+                                self.copy_queue.push_back((id, CopyDirection::DeviceToHost));
+                                self.pump_copy_engine();
+                            } else {
+                                self.finish_item(id, completions);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.replan();
+    }
+
+    /// Marks an item complete, emits its completion, and activates the next
+    /// item in its stream.
+    fn finish_item(&mut self, item_id: WorkItemId, completions: &mut Vec<Completion>) {
+        let Some(item) = self.items.get_mut(&item_id) else { return };
+        item.state = ItemState::Done;
+        let completion = Completion {
+            tag: item.tag,
+            item: item_id,
+            stream: item.stream,
+            context: item.context,
+            submitted_at: item.submitted_at,
+            started_at: item.started_at.unwrap_or(item.submitted_at),
+            finished_at: self.now,
+        };
+        let stream = item.stream;
+        self.trace.record(TraceEvent {
+            at: self.now,
+            kind: TraceEventKind::ItemCompleted,
+            item: item_id,
+            tag: item.tag,
+            stream,
+            context: item.context,
+            label: None,
+        });
+        completions.push(completion);
+        self.items.remove(&item_id);
+        self.rates.remove(&item_id);
+        self.pending_count = self.pending_count.saturating_sub(1);
+        let s = &mut self.streams[stream.index()];
+        if s.queue.front() == Some(&item_id) {
+            s.queue.pop_front();
+        } else {
+            s.queue.retain(|id| *id != item_id);
+        }
+        self.activate_front(stream);
+    }
+
+    /// Recomputes SM allocation rates for every computing kernel.
+    fn replan(&mut self) {
+        self.rates.clear();
+        // Gather computing kernels grouped by context.
+        let mut per_context: HashMap<ContextId, Vec<(WorkItemId, u32)>> = HashMap::new();
+        for item in self.items.values() {
+            if matches!(item.state, ItemState::Running(KernelPhase::Computing)) {
+                let parallelism = item.spec.kernels[item.kernel_index].parallelism;
+                per_context.entry(item.context).or_default().push((item.id, parallelism));
+            }
+        }
+        if per_context.is_empty() {
+            return;
+        }
+        let mut allocations: HashMap<WorkItemId, f64> = HashMap::new();
+        let mut total = 0.0;
+        for (ctx, kernels) in &per_context {
+            let quota = f64::from(self.contexts[ctx.index()].sm_quota);
+            let allocs = water_fill(quota, kernels);
+            for (id, a) in allocs {
+                total += a;
+                allocations.insert(id, a);
+            }
+        }
+        let sm_count = f64::from(self.spec.sm_count);
+        let scale = if total > sm_count { sm_count / total } else { 1.0 };
+        let demand_ratio = total / sm_count;
+        let efficiency = self.spec.interference.efficiency(per_context.len(), demand_ratio);
+        for (id, a) in allocations {
+            self.rates.insert(id, a * scale * efficiency);
+        }
+    }
+}
+
+/// Distributes `quota` SMs across kernels, capping each kernel at its own
+/// parallelism and spreading leftover capacity over the kernels that can
+/// still absorb it (classic water-filling).
+fn water_fill(quota: f64, kernels: &[(WorkItemId, u32)]) -> Vec<(WorkItemId, f64)> {
+    let n = kernels.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut alloc = vec![0.0f64; n];
+    let mut remaining = quota;
+    let mut unsatisfied: Vec<usize> = (0..n).collect();
+    while remaining > 1e-9 && !unsatisfied.is_empty() {
+        let share = remaining / unsatisfied.len() as f64;
+        let mut next_unsatisfied = Vec::new();
+        let mut consumed = 0.0;
+        for &i in &unsatisfied {
+            let cap = f64::from(kernels[i].1);
+            let want = cap - alloc[i];
+            if want <= share + 1e-12 {
+                alloc[i] = cap;
+                consumed += want;
+            } else {
+                alloc[i] += share;
+                consumed += share;
+                next_unsatisfied.push(i);
+            }
+        }
+        remaining -= consumed;
+        // If nobody was saturated this round, the distribution is final.
+        if next_unsatisfied.len() == unsatisfied.len() {
+            break;
+        }
+        unsatisfied = next_unsatisfied;
+    }
+    kernels.iter().zip(alloc).map(|((id, _), a)| (*id, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_spec() -> GpuSpec {
+        GpuSpec::rtx_2080_ti().without_interference()
+    }
+
+    #[test]
+    fn single_kernel_timing_is_exact() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        // 680 SM·µs over 68 SMs = 10 µs of compute + 5 µs launch overhead.
+        let item = WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68));
+        gpu.submit(s, item).unwrap();
+        let done = gpu.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].execution_time().as_micros_f64() - 15.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn narrow_kernel_is_limited_by_its_parallelism() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        let item = WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 10));
+        gpu.submit(s, item).unwrap();
+        let done = gpu.run_to_idle();
+        // 680 / 10 = 68 µs + 5 µs launch.
+        assert!((done[0].execution_time().as_micros_f64() - 73.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn quota_limits_kernel_width() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(17).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        let item = WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68));
+        gpu.submit(s, item).unwrap();
+        let done = gpu.run_to_idle();
+        // Limited to the context's 17-SM quota: 40 µs + 5 µs launch.
+        assert!((done[0].execution_time().as_micros_f64() - 45.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn kernels_serialize_within_a_stream() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        let item = WorkItem::new(1)
+            .with_kernel(KernelDesc::new(680.0, 68))
+            .with_kernel(KernelDesc::new(680.0, 68));
+        gpu.submit(s, item).unwrap();
+        let done = gpu.run_to_idle();
+        assert!((done[0].execution_time().as_micros_f64() - 30.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn two_streams_share_the_context_quota() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s1 = gpu.add_stream(ctx).unwrap();
+        let s2 = gpu.add_stream(ctx).unwrap();
+        // Each kernel could use the whole device alone; together they halve.
+        gpu.submit(s1, WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        gpu.submit(s2, WorkItem::new(2).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        let done = gpu.run_to_idle();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            // 680 / 34 = 20 µs + 5 µs launch.
+            assert!((c.execution_time().as_micros_f64() - 25.0).abs() < 0.1, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn narrow_kernels_run_concurrently_without_slowdown() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s1 = gpu.add_stream(ctx).unwrap();
+        let s2 = gpu.add_stream(ctx).unwrap();
+        gpu.submit(s1, WorkItem::new(1).with_kernel(KernelDesc::new(300.0, 30))).unwrap();
+        gpu.submit(s2, WorkItem::new(2).with_kernel(KernelDesc::new(300.0, 30))).unwrap();
+        let done = gpu.run_to_idle();
+        for c in &done {
+            // 30 + 30 SMs fit in 68: each runs at its own width, 10 µs + 5 µs.
+            assert!((c.execution_time().as_micros_f64() - 15.0).abs() < 0.1, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_contexts_are_scaled_proportionally() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let c1 = gpu.add_context(68).unwrap();
+        let c2 = gpu.add_context(68).unwrap();
+        let s1 = gpu.add_stream(c1).unwrap();
+        let s2 = gpu.add_stream(c2).unwrap();
+        gpu.submit(s1, WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        gpu.submit(s2, WorkItem::new(2).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        let done = gpu.run_to_idle();
+        for c in &done {
+            // Demand 136 SMs on a 68-SM device: each gets 34 → 20 µs + 5 µs.
+            assert!((c.execution_time().as_micros_f64() - 25.0).abs() < 0.1, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_quotas_waste_capacity_when_one_context_idles() {
+        // One busy context with a 34-SM quota on a 68-SM device cannot use the
+        // other half even though it is idle (the OS = 1 effect of the paper).
+        let mut gpu = Gpu::new(quiet_spec());
+        let c1 = gpu.add_context(34).unwrap();
+        let _c2 = gpu.add_context(34).unwrap();
+        let s1 = gpu.add_stream(c1).unwrap();
+        gpu.submit(s1, WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        let done = gpu.run_to_idle();
+        assert!((done[0].execution_time().as_micros_f64() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn copy_engine_adds_latency_and_serializes() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s1 = gpu.add_stream(ctx).unwrap();
+        let s2 = gpu.add_stream(ctx).unwrap();
+        // 12_000 bytes at 12_000 bytes/µs = 1 µs + 8 µs fixed latency.
+        let mk = |tag| {
+            WorkItem::new(tag)
+                .with_kernel(KernelDesc::new(68.0, 68))
+                .with_h2d_bytes(12_000)
+        };
+        gpu.submit(s1, mk(1)).unwrap();
+        gpu.submit(s2, mk(2)).unwrap();
+        let done = gpu.run_to_idle();
+        assert_eq!(done.len(), 2);
+        let mut times: Vec<f64> = done.iter().map(|c| c.execution_time().as_micros_f64()).collect();
+        times.sort_by(f64::total_cmp);
+        // First item: 9 µs copy + 5 launch + 1 compute = 15 µs.
+        assert!((times[0] - 15.0).abs() < 0.1, "{times:?}");
+        // Second item waits for the copy engine: 9 more µs before its copy.
+        assert!(times[1] > times[0] + 8.0, "{times:?}");
+    }
+
+    #[test]
+    fn completions_report_queueing_separately() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        gpu.submit(s, WorkItem::new(1).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        gpu.submit(s, WorkItem::new(2).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        let done = gpu.run_to_idle();
+        let second = done.iter().find(|c| c.tag == 2).unwrap();
+        assert!(second.turnaround() > second.execution_time());
+        assert_eq!(second.submitted_at, SimTime::ZERO);
+        assert!(second.started_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_to_is_incremental() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        gpu.submit(s, WorkItem::new(7).with_kernel(KernelDesc::new(680.0, 68))).unwrap();
+        let none = gpu.advance_to(SimTime::from_micros(10));
+        assert!(none.is_empty());
+        assert_eq!(gpu.now(), SimTime::from_micros(10));
+        assert_eq!(gpu.pending_items(), 1);
+        let done = gpu.advance_to(SimTime::from_micros(20));
+        assert_eq!(done.len(), 1);
+        assert_eq!(gpu.pending_items(), 0);
+        assert_eq!(gpu.now(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        gpu.submit(
+            s,
+            WorkItem::new(1).with_kernel(
+                KernelDesc::new(680.0, 68).with_launch_overhead(SimDuration::ZERO),
+            ),
+        )
+        .unwrap();
+        gpu.run_to_idle();
+        assert!((gpu.completed_work() - 680.0).abs() < 1e-6);
+        // 10 µs fully busy out of 10 µs elapsed.
+        assert!((gpu.average_utilization() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tracing_records_lifecycle() {
+        let mut gpu = Gpu::new(quiet_spec());
+        gpu.enable_tracing();
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        gpu.submit(
+            s,
+            WorkItem::new(3)
+                .with_kernel(KernelDesc::new(68.0, 68))
+                .with_kernel(KernelDesc::new(68.0, 68)),
+        )
+        .unwrap();
+        gpu.run_to_idle();
+        let trace = gpu.trace();
+        assert_eq!(trace.of_kind(TraceEventKind::ItemSubmitted).count(), 1);
+        assert_eq!(trace.of_kind(TraceEventKind::KernelCompleted).count(), 2);
+        assert_eq!(trace.of_kind(TraceEventKind::ItemCompleted).count(), 1);
+    }
+
+    #[test]
+    fn errors_for_unknown_handles() {
+        let mut gpu = Gpu::new(quiet_spec());
+        assert_eq!(gpu.add_stream(ContextId(0)), Err(GpuError::UnknownContext(ContextId(0))));
+        assert_eq!(gpu.add_context(0), Err(GpuError::ZeroQuota));
+        let item = WorkItem::new(1).with_kernel(KernelDesc::new(1.0, 1));
+        assert_eq!(gpu.submit(StreamId(9), item), Err(GpuError::UnknownStream(StreamId(9))));
+        assert!(gpu.stream_is_idle(StreamId(0)).is_err());
+        assert!(gpu.context_state(ContextId(4)).is_err());
+    }
+
+    #[test]
+    fn quota_is_clamped_to_device_width() {
+        let mut gpu = Gpu::new(quiet_spec());
+        let ctx = gpu.add_context(1_000).unwrap();
+        assert_eq!(gpu.context_state(ctx).unwrap().sm_quota, 68);
+    }
+
+    #[test]
+    fn water_fill_respects_caps_and_quota() {
+        let ids = [(WorkItemId(0), 10u32), (WorkItemId(1), 60u32), (WorkItemId(2), 60u32)];
+        let alloc = water_fill(68.0, &ids);
+        let total: f64 = alloc.iter().map(|(_, a)| a).sum();
+        assert!(total <= 68.0 + 1e-9);
+        let by_id: HashMap<_, _> = alloc.into_iter().collect();
+        assert!((by_id[&WorkItemId(0)] - 10.0).abs() < 1e-9);
+        assert!((by_id[&WorkItemId(1)] - 29.0).abs() < 1e-9);
+        assert!((by_id[&WorkItemId(2)] - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_fill_with_spare_capacity_gives_everyone_their_cap() {
+        let ids = [(WorkItemId(0), 10u32), (WorkItemId(1), 20u32)];
+        let alloc = water_fill(68.0, &ids);
+        let by_id: HashMap<_, _> = alloc.into_iter().collect();
+        assert_eq!(by_id[&WorkItemId(0)], 10.0);
+        assert_eq!(by_id[&WorkItemId(1)], 20.0);
+    }
+
+    #[test]
+    fn jitter_makes_execution_times_vary_but_stay_bounded() {
+        let spec = GpuSpec::rtx_2080_ti(); // default 4 % jitter
+        let mut gpu = Gpu::new(spec);
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        let mut times = Vec::new();
+        for tag in 0..20 {
+            gpu.submit(s, WorkItem::new(tag).with_kernel(KernelDesc::new(6_800.0, 68))).unwrap();
+        }
+        for c in gpu.run_to_idle() {
+            times.push(c.execution_time().as_micros_f64());
+        }
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min, "jitter should produce variation");
+        assert!(max < min * 1.15, "variation should stay small: {min} vs {max}");
+    }
+}

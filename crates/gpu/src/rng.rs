@@ -1,0 +1,138 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The simulator needs a small amount of randomness (per-kernel execution
+//! jitter) but must stay dependency-free and bit-for-bit reproducible across
+//! runs, so we use a self-contained xorshift64* generator instead of pulling
+//! in the `rand` crate.
+
+/// A deterministic xorshift64* pseudo-random number generator.
+///
+/// ```
+/// use daris_gpu::XorShiftRng;
+/// let mut a = XorShiftRng::new(7);
+/// let mut b = XorShiftRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant because xorshift has an all-zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        XorShiftRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[lo, hi)`. Returns `lo` when the range is empty or
+    /// inverted.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A multiplicative jitter factor uniform in `[1 - half_width, 1 + half_width]`.
+    pub fn jitter(&mut self, half_width: f64) -> f64 {
+        if half_width <= 0.0 {
+            return 1.0;
+        }
+        self.uniform(1.0 - half_width, 1.0 + half_width)
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+impl Default for XorShiftRng {
+    fn default() -> Self {
+        XorShiftRng::new(0x5eed_da12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShiftRng::new(1234);
+        let mut b = XorShiftRng::new(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = XorShiftRng::new(99);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = XorShiftRng::new(5);
+        for _ in 0..1_000 {
+            let v = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+        assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn jitter_centered_on_one() {
+        let mut rng = XorShiftRng::new(42);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let j = rng.jitter(0.05);
+            assert!((0.95..=1.05).contains(&j));
+            sum += j;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+        assert_eq!(rng.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShiftRng::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Device specification and interference model.
+
+use crate::SimDuration;
+
+/// Describes how colocated kernels degrade each other beyond simple SM
+/// sharing.
+///
+/// The allocation model already scales SM allocations down proportionally
+/// whenever the aggregate demand of busy contexts exceeds the physical SM
+/// count (time-multiplexing of oversubscribed SMs). On real hardware there is
+/// an *additional* cost: cache and memory-bandwidth contention, plus MPS
+/// scheduling overhead, grow with the number of co-running contexts and with
+/// the oversubscription ratio. The DARIS paper observes this as execution-time
+/// variability (Fig. 9) and as the non-monotonic deadline-miss behaviour of
+/// high oversubscription levels (Sec. VI-E).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceModel {
+    /// Fractional slowdown added per *additional* concurrently busy context
+    /// (the first context is free). Default `0.01`.
+    pub per_context_penalty: f64,
+    /// Fractional slowdown per unit of demand overshoot, i.e. when busy
+    /// contexts demand `d > 1.0` of the device this adds
+    /// `oversubscription_penalty * (d - 1.0)`. Default `0.02` — NVIDIA's MPS
+    /// time-slices oversubscribed SMs fairly cheaply, which is why the paper
+    /// finds oversubscription consistently beneficial.
+    pub oversubscription_penalty: f64,
+    /// Relative half-width of the uniform multiplicative jitter applied to
+    /// each kernel instance's work (models run-to-run variability that MRET
+    /// has to track). Default `0.04` (±4 %).
+    pub work_jitter: f64,
+}
+
+impl InterferenceModel {
+    /// An idealized device with no cross-context interference and no jitter.
+    pub fn none() -> Self {
+        InterferenceModel { per_context_penalty: 0.0, oversubscription_penalty: 0.0, work_jitter: 0.0 }
+    }
+
+    /// Efficiency factor (`0 < e <= 1`) applied to every SM allocation when
+    /// `busy_contexts` contexts are concurrently busy and their aggregate SM
+    /// demand is `demand_ratio` times the physical SM count.
+    pub fn efficiency(&self, busy_contexts: usize, demand_ratio: f64) -> f64 {
+        let extra_ctx = busy_contexts.saturating_sub(1) as f64;
+        let overshoot = (demand_ratio - 1.0).max(0.0);
+        1.0 / (1.0 + self.per_context_penalty * extra_ctx + self.oversubscription_penalty * overshoot)
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        InterferenceModel {
+            per_context_penalty: 0.01,
+            oversubscription_penalty: 0.02,
+            work_jitter: 0.04,
+        }
+    }
+}
+
+/// Static description of the simulated GPU device.
+///
+/// ```
+/// let spec = daris_gpu::GpuSpec::rtx_2080_ti();
+/// assert_eq!(spec.sm_count, 68);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Number of physical streaming multiprocessors (`NSM,max` in the paper).
+    pub sm_count: u32,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Copy-engine bandwidth in bytes per microsecond (host <-> device).
+    pub copy_bandwidth_bytes_per_us: f64,
+    /// Fixed per-transfer latency of the copy engine.
+    pub copy_latency: SimDuration,
+    /// Default per-kernel launch overhead when a kernel does not override it.
+    pub default_launch_overhead: SimDuration,
+    /// Cross-context interference model.
+    pub interference: InterferenceModel,
+    /// Seed for the simulator's deterministic work-jitter generator.
+    pub jitter_seed: u64,
+}
+
+impl GpuSpec {
+    /// The GPU used in the paper's evaluation: an RTX 2080 Ti with 68 SMs and
+    /// 11 GB of device memory, PCIe 3.0 x16 host link (~12 GB/s effective).
+    pub fn rtx_2080_ti() -> Self {
+        GpuSpec {
+            sm_count: 68,
+            memory_bytes: 11 * 1024 * 1024 * 1024,
+            copy_bandwidth_bytes_per_us: 12_000.0,
+            copy_latency: SimDuration::from_micros(8),
+            default_launch_overhead: SimDuration::from_micros(5),
+            interference: InterferenceModel::default(),
+            jitter_seed: 0x5eed_da12,
+        }
+    }
+
+    /// A small embedded-class GPU without MPS-scale resources (useful in
+    /// tests and in the embedded example; the paper notes that on such GPUs
+    /// only the STR policy is feasible).
+    pub fn embedded_xavier_like() -> Self {
+        GpuSpec {
+            sm_count: 8,
+            memory_bytes: 8 * 1024 * 1024 * 1024,
+            copy_bandwidth_bytes_per_us: 6_000.0,
+            copy_latency: SimDuration::from_micros(12),
+            default_launch_overhead: SimDuration::from_micros(8),
+            interference: InterferenceModel::default(),
+            jitter_seed: 0x5eed_da12,
+        }
+    }
+
+    /// Returns a copy of the spec with interference and jitter disabled,
+    /// which makes execution times fully deterministic. Used by calibration
+    /// and by tests that assert exact timing.
+    pub fn without_interference(mut self) -> Self {
+        self.interference = InterferenceModel::none();
+        self
+    }
+
+    /// Returns a copy with a different jitter seed (useful for repeated
+    /// trials in experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::rtx_2080_ti()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx_preset_matches_paper_hardware() {
+        let spec = GpuSpec::rtx_2080_ti();
+        assert_eq!(spec.sm_count, 68);
+        assert!(spec.memory_bytes > 10 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_contexts_and_overshoot() {
+        let m = InterferenceModel::default();
+        let e1 = m.efficiency(1, 1.0);
+        let e2 = m.efficiency(4, 1.0);
+        let e3 = m.efficiency(4, 2.0);
+        assert_eq!(e1, 1.0);
+        assert!(e2 < e1);
+        assert!(e3 < e2);
+        assert!(e3 > 0.0);
+    }
+
+    #[test]
+    fn none_model_is_ideal() {
+        let m = InterferenceModel::none();
+        assert_eq!(m.efficiency(8, 4.0), 1.0);
+    }
+
+    #[test]
+    fn without_interference_clears_model() {
+        let spec = GpuSpec::rtx_2080_ti().without_interference();
+        assert_eq!(spec.interference, InterferenceModel::none());
+    }
+}

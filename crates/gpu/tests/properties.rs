@@ -1,0 +1,110 @@
+//! Property-based tests of the GPU simulator's core invariants.
+
+use daris_gpu::{ceil_even, sm_quota, Gpu, GpuSpec, KernelDesc, SimTime, WorkItem};
+use proptest::prelude::*;
+
+fn quiet() -> GpuSpec {
+    GpuSpec::rtx_2080_ti().without_interference()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ceil_even always returns an even value that is >= the input.
+    #[test]
+    fn ceil_even_properties(v in 0.0f64..10_000.0) {
+        let c = ceil_even(v);
+        prop_assert_eq!(c % 2, 0);
+        prop_assert!(f64::from(c) + 1e-9 >= v);
+        prop_assert!(f64::from(c) < v + 2.0);
+    }
+
+    /// Eq. 9 quotas are positive, never exceed the device, and are even
+    /// unless they were clamped to an odd device width.
+    #[test]
+    fn sm_quota_properties(sm in 2u32..256, os in 1.0f64..8.0, nc in 1u32..12) {
+        let q = sm_quota(sm, os, nc);
+        prop_assert!(q % 2 == 0 || q == sm.max(2));
+        prop_assert!(q >= 2);
+        prop_assert!(q <= sm.max(2));
+    }
+
+    /// A kernel running alone never finishes faster than its ideal time and
+    /// never slower than its parallelism-limited time plus launch overhead.
+    #[test]
+    fn isolated_kernel_time_bounds(work in 10.0f64..100_000.0, par in 1u32..200) {
+        let mut gpu = Gpu::new(quiet());
+        let ctx = gpu.add_context(68).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        gpu.submit(s, WorkItem::new(0).with_kernel(KernelDesc::new(work, par))).unwrap();
+        let done = gpu.run_to_idle();
+        prop_assert_eq!(done.len(), 1);
+        let t = done[0].execution_time().as_micros_f64();
+        let ideal = work / 68.0 + 5.0;
+        let limit = work / f64::from(par.min(68)) + 5.0;
+        prop_assert!(t + 1e-3 >= ideal, "t={} ideal={}", t, ideal);
+        prop_assert!(t <= limit + 1.0, "t={} limit={}", t, limit);
+    }
+
+    /// Work is conserved: total completed work equals the sum of submitted
+    /// kernel work (no interference, no jitter).
+    #[test]
+    fn work_conservation(works in prop::collection::vec(10.0f64..5_000.0, 1..20)) {
+        let mut gpu = Gpu::new(quiet());
+        let ctx = gpu.add_context(68).unwrap();
+        let s1 = gpu.add_stream(ctx).unwrap();
+        let s2 = gpu.add_stream(ctx).unwrap();
+        let mut total = 0.0;
+        for (i, w) in works.iter().enumerate() {
+            total += *w;
+            let stream = if i % 2 == 0 { s1 } else { s2 };
+            gpu.submit(stream, WorkItem::new(i as u64).with_kernel(KernelDesc::new(*w, 32))).unwrap();
+        }
+        let done = gpu.run_to_idle();
+        prop_assert_eq!(done.len(), works.len());
+        prop_assert!((gpu.completed_work() - total).abs() < 1e-3 * total.max(1.0));
+    }
+
+    /// More SMs in the context quota never makes an isolated work item slower.
+    #[test]
+    fn more_quota_never_slower(work in 100.0f64..50_000.0, q1 in 2u32..68, extra in 0u32..66) {
+        let q2 = (q1 + extra).min(68);
+        let run = |quota: u32| {
+            let mut gpu = Gpu::new(quiet());
+            let ctx = gpu.add_context(quota).unwrap();
+            let s = gpu.add_stream(ctx).unwrap();
+            gpu.submit(s, WorkItem::new(0).with_kernel(KernelDesc::new(work, 68))).unwrap();
+            gpu.run_to_idle()[0].execution_time().as_micros_f64()
+        };
+        let t1 = run(q1);
+        let t2 = run(q2);
+        prop_assert!(t2 <= t1 + 1e-3, "quota {} -> {}, time {} -> {}", q1, q2, t1, t2);
+    }
+
+    /// Completions are never reported before the submission time and the
+    /// device clock never runs backwards.
+    #[test]
+    fn time_monotonicity(count in 1usize..15, work in 50.0f64..2_000.0) {
+        let mut gpu = Gpu::new(quiet());
+        let ctx = gpu.add_context(34).unwrap();
+        let s = gpu.add_stream(ctx).unwrap();
+        for i in 0..count {
+            gpu.submit(s, WorkItem::new(i as u64).with_kernel(KernelDesc::new(work, 16))).unwrap();
+        }
+        let mut last = SimTime::ZERO;
+        let mut step = SimTime::from_micros(10);
+        let mut all = Vec::new();
+        while gpu.pending_items() > 0 {
+            let done = gpu.advance_to(step);
+            prop_assert!(gpu.now() >= last);
+            last = gpu.now();
+            all.extend(done);
+            step = step + daris_gpu::SimDuration::from_micros(10);
+        }
+        prop_assert_eq!(all.len(), count);
+        for c in &all {
+            prop_assert!(c.finished_at >= c.started_at);
+            prop_assert!(c.started_at >= c.submitted_at);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Response-time statistics.
+
+/// Summary statistics over a set of response times (milliseconds).
+///
+/// ```
+/// use daris_metrics::ResponseStats;
+/// let stats = ResponseStats::from_millis(&[5.0, 10.0, 15.0, 20.0]);
+/// assert_eq!(stats.count, 4);
+/// assert_eq!(stats.mean_ms, 12.5);
+/// assert_eq!(stats.max_ms, 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum, in milliseconds.
+    pub min_ms: f64,
+    /// Mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Median (50th percentile), in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum (worst case observed), in milliseconds.
+    pub max_ms: f64,
+}
+
+impl ResponseStats {
+    /// An all-zero summary for an empty sample set.
+    pub fn empty() -> Self {
+        ResponseStats { count: 0, min_ms: 0.0, mean_ms: 0.0, p50_ms: 0.0, p95_ms: 0.0, p99_ms: 0.0, max_ms: 0.0 }
+    }
+
+    /// Computes statistics from raw millisecond samples.
+    pub fn from_millis(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        let percentile = |p: f64| -> f64 {
+            let rank = (p * (count as f64 - 1.0)).round() as usize;
+            sorted[rank.min(count - 1)]
+        };
+        ResponseStats {
+            count,
+            min_ms: sorted[0],
+            mean_ms: sum / count as f64,
+            p50_ms: percentile(0.50),
+            p95_ms: percentile(0.95),
+            p99_ms: percentile(0.99),
+            max_ms: sorted[count - 1],
+        }
+    }
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = ResponseStats::from_millis(&[]);
+        assert_eq!(s, ResponseStats::empty());
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = ResponseStats::from_millis(&[7.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_ms, 7.5);
+        assert_eq!(s.max_ms, 7.5);
+        assert_eq!(s.p95_ms, 7.5);
+        assert_eq!(s.mean_ms, 7.5);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = ResponseStats::from_millis(&samples);
+        assert!(s.min_ms <= s.p50_ms);
+        assert!(s.p50_ms <= s.p95_ms);
+        assert!(s.p95_ms <= s.p99_ms);
+        assert!(s.p99_ms <= s.max_ms);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.p95_ms - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = ResponseStats::from_millis(&[30.0, 10.0, 20.0]);
+        assert_eq!(s.min_ms, 10.0);
+        assert_eq!(s.p50_ms, 20.0);
+        assert_eq!(s.max_ms, 30.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Model graphs: ordered layer lists with stage boundaries.
+
+use crate::{DnnKind, Layer};
+
+/// A named stage of a model: the unit of DARIS's synchronization-based
+/// preemption (Sec. III-B1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage name, e.g. `"layer3"`.
+    pub name: String,
+    /// Index of the first layer belonging to the stage.
+    pub first_layer: usize,
+    /// One past the last layer belonging to the stage.
+    pub end_layer: usize,
+}
+
+impl StageSpec {
+    /// Number of layers in the stage.
+    pub fn layer_count(&self) -> usize {
+        self.end_layer - self.first_layer
+    }
+}
+
+/// An executable description of a DNN: its layers in execution order and the
+/// stage boundaries used for staging.
+///
+/// Branches of non-linear networks (Inception blocks, UNet skips) are listed
+/// in serialized order, which is how a single CUDA stream executes them; the
+/// paper found that releasing parallel paths on extra streams gains only ~9 %
+/// and instead recommends batching, so the serialized view is the right
+/// baseline structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelGraph {
+    /// Which architecture this graph describes.
+    pub kind: DnnKind,
+    /// All layers in execution order.
+    pub layers: Vec<Layer>,
+    /// Stage boundaries covering all layers, in order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl ModelGraph {
+    /// Builds a graph from layers and stage boundaries expressed as
+    /// `(name, end_layer_exclusive)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries do not cover all layers in increasing order;
+    /// this is a programming error in the model zoo, not a runtime condition.
+    pub fn new(kind: DnnKind, layers: Vec<Layer>, boundaries: Vec<(&str, usize)>) -> Self {
+        let mut stages = Vec::with_capacity(boundaries.len());
+        let mut start = 0usize;
+        for (name, end) in boundaries {
+            assert!(end > start && end <= layers.len(), "invalid stage boundary {name}: {end}");
+            stages.push(StageSpec { name: name.to_owned(), first_layer: start, end_layer: end });
+            start = end;
+        }
+        assert_eq!(start, layers.len(), "stage boundaries must cover every layer");
+        ModelGraph { kind, layers, stages }
+    }
+
+    /// Number of stages (`n_i` in the paper's task model).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers belonging to stage `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= stage_count()`.
+    pub fn stage_layers(&self, index: usize) -> &[Layer] {
+        let s = &self.stages[index];
+        &self.layers[s.first_layer..s.end_layer]
+    }
+
+    /// Total floating-point operations per sample.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(Layer::flops).sum()
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total parameter bytes (`f32` weights), i.e. the resident model size.
+    pub fn weight_bytes(&self) -> u64 {
+        self.total_params() * 4
+    }
+
+    /// FLOPs of each stage, in stage order.
+    pub fn stage_flops(&self) -> Vec<f64> {
+        (0..self.stage_count())
+            .map(|i| self.stage_layers(i).iter().map(Layer::flops).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerKind, TensorShape};
+
+    fn tiny_graph() -> ModelGraph {
+        let input = TensorShape::imagenet();
+        let l1 = Layer::new(
+            "conv1",
+            LayerKind::Conv2d { in_channels: 3, out_channels: 8, kernel: 3, stride: 2 },
+            input,
+        );
+        let l2 = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }, l1.output);
+        let l3 = Layer::new("gap", LayerKind::GlobalPool, l2.output);
+        let l4 = Layer::new(
+            "fc",
+            LayerKind::Linear { in_features: 8, out_features: 10 },
+            l3.output,
+        );
+        ModelGraph::new(
+            DnnKind::ResNet18,
+            vec![l1, l2, l3, l4],
+            vec![("front", 2), ("back", 4)],
+        )
+    }
+
+    #[test]
+    fn stages_partition_layers() {
+        let g = tiny_graph();
+        assert_eq!(g.stage_count(), 2);
+        assert_eq!(g.layer_count(), 4);
+        assert_eq!(g.stage_layers(0).len(), 2);
+        assert_eq!(g.stage_layers(1).len(), 2);
+        assert_eq!(g.stages[0].layer_count(), 2);
+        let total: f64 = g.stage_flops().iter().sum();
+        assert!((total - g.total_flops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_bytes_are_param_count_times_four() {
+        let g = tiny_graph();
+        assert_eq!(g.weight_bytes(), g.total_params() * 4);
+        assert!(g.total_params() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage boundaries must cover every layer")]
+    fn uncovered_layers_panic() {
+        let g = tiny_graph();
+        ModelGraph::new(DnnKind::ResNet18, g.layers, vec![("only", 2)]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Calibrated model profiles.
+//!
+//! A [`ModelProfile`] glues a model graph to the kernel lowering and carries
+//! two per-model calibration factors:
+//!
+//! * `work_scale` — chosen so that the profile's isolated single-stream
+//!   latency matches the paper's Table I "min JPS";
+//! * `par_scale` — chosen so that the best batched throughput matches
+//!   Table I "max JPS" (and therefore the batching gain).
+//!
+//! Both are fitted analytically (no simulation in the loop): the isolated
+//! latency of a kernel sequence on an otherwise idle device is simply
+//! `Σ (launch + work / min(parallelism, NSM))` plus copy-engine time, which
+//! the simulator reproduces exactly.
+
+use daris_gpu::{GpuSpec, KernelDesc};
+
+use crate::{zoo, DnnKind, LoweringConfig, ModelGraph};
+
+/// Batch sizes explored when searching for the best batched throughput
+/// (Table I "max JPS" is the best the paper found over its batch sweep).
+const BATCH_SWEEP: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Published single-DNN throughput from Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Reference {
+    /// Unbatched (batch = 1) single-stream throughput in jobs per second.
+    pub min_jps: f64,
+    /// Best batched throughput in jobs per second.
+    pub max_jps: f64,
+}
+
+impl Table1Reference {
+    /// The Table I row for `kind`.
+    pub fn for_kind(kind: DnnKind) -> Self {
+        match kind {
+            DnnKind::ResNet18 => Table1Reference { min_jps: 627.0, max_jps: 1025.0 },
+            DnnKind::ResNet50 => Table1Reference { min_jps: 250.0, max_jps: 433.0 },
+            DnnKind::UNet => Table1Reference { min_jps: 241.0, max_jps: 260.0 },
+            DnnKind::InceptionV3 => Table1Reference { min_jps: 142.0, max_jps: 446.0 },
+        }
+    }
+
+    /// The batching gain (`max / min`, the last column of Table I).
+    pub fn gain(&self) -> f64 {
+        self.max_jps / self.min_jps
+    }
+}
+
+/// One point of a batch-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSweepPoint {
+    /// Batch size.
+    pub batch: u32,
+    /// Isolated latency of one batch in microseconds.
+    pub latency_us: f64,
+    /// Resulting throughput in jobs per second.
+    pub jps: f64,
+}
+
+/// A calibrated, executable profile of one DNN.
+#[derive(Debug, Clone)]
+pub struct ModelProfile {
+    kind: DnnKind,
+    graph: ModelGraph,
+    cfg: LoweringConfig,
+    sm_count: u32,
+    copy_latency_us: f64,
+    copy_bandwidth_bytes_per_us: f64,
+    work_scale: f64,
+    par_scale: f64,
+}
+
+impl ModelProfile {
+    /// Builds a profile calibrated against Table I for the default evaluation
+    /// device (RTX 2080 Ti, 68 SMs).
+    pub fn calibrated(kind: DnnKind) -> Self {
+        Self::calibrated_for(kind, LoweringConfig::default(), &GpuSpec::rtx_2080_ti())
+    }
+
+    /// Builds a profile calibrated against Table I for an arbitrary device
+    /// and lowering configuration.
+    pub fn calibrated_for(kind: DnnKind, cfg: LoweringConfig, spec: &GpuSpec) -> Self {
+        let mut profile = Self::uncalibrated_for(kind, cfg, spec);
+        profile.fit_to(Table1Reference::for_kind(kind));
+        profile
+    }
+
+    /// Builds an uncalibrated profile (`work_scale = par_scale = 1`), mostly
+    /// useful for inspecting the raw cost model.
+    pub fn uncalibrated(kind: DnnKind) -> Self {
+        Self::uncalibrated_for(kind, LoweringConfig::default(), &GpuSpec::rtx_2080_ti())
+    }
+
+    fn uncalibrated_for(kind: DnnKind, cfg: LoweringConfig, spec: &GpuSpec) -> Self {
+        ModelProfile {
+            kind,
+            graph: zoo::graph(kind),
+            cfg,
+            sm_count: spec.sm_count,
+            copy_latency_us: spec.copy_latency.as_micros_f64(),
+            copy_bandwidth_bytes_per_us: spec.copy_bandwidth_bytes_per_us,
+            work_scale: 1.0,
+            par_scale: 1.0,
+        }
+    }
+
+    /// The model kind.
+    pub fn kind(&self) -> DnnKind {
+        self.kind
+    }
+
+    /// The underlying layer graph.
+    pub fn graph(&self) -> &ModelGraph {
+        &self.graph
+    }
+
+    /// The lowering configuration in use.
+    pub fn lowering(&self) -> &LoweringConfig {
+        &self.cfg
+    }
+
+    /// Calibrated work scale (exposed for diagnostics and EXPERIMENTS.md).
+    pub fn work_scale(&self) -> f64 {
+        self.work_scale
+    }
+
+    /// Calibrated parallelism scale.
+    pub fn par_scale(&self) -> f64 {
+        self.par_scale
+    }
+
+    /// Number of stages (`n_i` in the paper's task model).
+    pub fn stage_count(&self) -> usize {
+        self.graph.stage_count()
+    }
+
+    /// The Table I reference values this profile was calibrated against.
+    pub fn reference(&self) -> Table1Reference {
+        Table1Reference::for_kind(self.kind)
+    }
+
+    /// Bytes of resident weights.
+    pub fn weight_bytes(&self) -> u64 {
+        self.graph.weight_bytes()
+    }
+
+    /// Host-to-device input bytes for a batch of `batch` samples.
+    pub fn input_bytes(&self, batch: u32) -> u64 {
+        self.graph.layers.first().map(|l| l.input.bytes_f32()).unwrap_or(0) * u64::from(batch.max(1))
+    }
+
+    /// Device-to-host output bytes for a batch of `batch` samples.
+    pub fn output_bytes(&self, batch: u32) -> u64 {
+        self.graph.layers.last().map(|l| l.output.bytes_f32()).unwrap_or(0) * u64::from(batch.max(1))
+    }
+
+    /// Kernels of stage `stage` for a batch of `batch` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= stage_count()`.
+    pub fn stage_kernels(&self, stage: usize, batch: u32) -> Vec<KernelDesc> {
+        self.graph
+            .stage_layers(stage)
+            .iter()
+            .map(|l| self.cfg.lower(l, batch, self.work_scale, self.par_scale))
+            .collect()
+    }
+
+    /// Kernels of the whole network (all stages concatenated).
+    pub fn job_kernels(&self, batch: u32) -> Vec<KernelDesc> {
+        (0..self.stage_count()).flat_map(|s| self.stage_kernels(s, batch)).collect()
+    }
+
+    /// Analytic isolated latency of stage `stage` at batch `batch`,
+    /// in microseconds (kernels only, no copies).
+    pub fn isolated_stage_latency_us(&self, stage: usize, batch: u32) -> f64 {
+        self.graph
+            .stage_layers(stage)
+            .iter()
+            .map(|l| self.layer_latency_us(l, batch))
+            .sum()
+    }
+
+    /// Analytic isolated end-to-end latency at batch `batch`, in
+    /// microseconds, including input/output copies on the copy engine.
+    pub fn isolated_latency_us(&self, batch: u32) -> f64 {
+        let kernels: f64 =
+            (0..self.stage_count()).map(|s| self.isolated_stage_latency_us(s, batch)).sum();
+        kernels + self.copy_time_us(batch)
+    }
+
+    /// Copy-engine time (both directions) for a batch, in microseconds.
+    pub fn copy_time_us(&self, batch: u32) -> f64 {
+        let bytes = (self.input_bytes(batch) + self.output_bytes(batch)) as f64;
+        2.0 * self.copy_latency_us + bytes / self.copy_bandwidth_bytes_per_us.max(1e-9)
+    }
+
+    /// Sweeps batch sizes and reports latency/throughput for each.
+    pub fn batch_sweep(&self) -> Vec<BatchSweepPoint> {
+        BATCH_SWEEP
+            .iter()
+            .map(|&b| {
+                let latency_us = self.isolated_latency_us(b);
+                BatchSweepPoint { batch: b, latency_us, jps: f64::from(b) * 1e6 / latency_us }
+            })
+            .collect()
+    }
+
+    /// The best batched throughput over the sweep: `(batch, jps)`.
+    pub fn best_batched_jps(&self) -> (u32, f64) {
+        self.batch_sweep()
+            .into_iter()
+            .map(|p| (p.batch, p.jps))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("sweep is non-empty")
+    }
+
+    /// Unbatched single-stream throughput in jobs per second.
+    pub fn isolated_jps(&self) -> f64 {
+        1e6 / self.isolated_latency_us(1)
+    }
+
+    /// The modelled batching gain (best batched JPS over unbatched JPS),
+    /// comparable to Table I's last column.
+    pub fn batching_gain(&self) -> f64 {
+        self.best_batched_jps().1 / self.isolated_jps()
+    }
+
+    // ----- calibration ------------------------------------------------------
+
+    fn layer_latency_us(&self, layer: &crate::Layer, batch: u32) -> f64 {
+        let work = self.cfg.raw_work(layer, batch) * self.work_scale;
+        let par = self
+            .cfg
+            .scaled_parallelism(layer, batch, self.par_scale)
+            .min(f64::from(self.sm_count));
+        self.cfg.launch_overhead_us + work / par.max(1.0)
+    }
+
+    /// Fits `work_scale` so the isolated batch-1 latency hits
+    /// `1e6 / reference.min_jps` given the current `par_scale`.
+    fn fit_work_scale(&mut self, reference: Table1Reference) {
+        let target_us = 1e6 / reference.min_jps;
+        let fixed: f64 = self.graph.layers.len() as f64 * self.cfg.launch_overhead_us
+            + self.copy_time_us(1);
+        let variable: f64 = self
+            .graph
+            .layers
+            .iter()
+            .map(|l| {
+                let par = self
+                    .cfg
+                    .scaled_parallelism(l, 1, self.par_scale)
+                    .min(f64::from(self.sm_count));
+                self.cfg.raw_work(l, 1) / par.max(1.0)
+            })
+            .sum();
+        let budget = (target_us - fixed).max(target_us * 0.05);
+        self.work_scale = budget / variable.max(1e-12);
+    }
+
+    /// Bisects `par_scale` so the best batched throughput hits
+    /// `reference.max_jps`; refits `work_scale` at every step.
+    fn fit_to(&mut self, reference: Table1Reference) {
+        let mut lo = 1e-3f64;
+        let mut hi = 16.0f64;
+        for _ in 0..48 {
+            let mid = (lo * hi).sqrt();
+            self.par_scale = mid;
+            self.fit_work_scale(reference);
+            let max_jps = self.best_batched_jps().1;
+            if max_jps > reference.max_jps {
+                // Too much batching gain: widen kernels.
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        self.par_scale = (lo * hi).sqrt();
+        self.fit_work_scale(reference);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reference_gains_match_paper() {
+        assert!((Table1Reference::for_kind(DnnKind::ResNet18).gain() - 1.63).abs() < 0.02);
+        assert!((Table1Reference::for_kind(DnnKind::ResNet50).gain() - 1.73).abs() < 0.02);
+        assert!((Table1Reference::for_kind(DnnKind::UNet).gain() - 1.08).abs() < 0.01);
+        assert!((Table1Reference::for_kind(DnnKind::InceptionV3).gain() - 3.13).abs() < 0.03);
+    }
+
+    #[test]
+    fn calibration_reproduces_min_jps() {
+        for kind in DnnKind::all() {
+            let p = ModelProfile::calibrated(kind);
+            let reference = p.reference();
+            let err = (p.isolated_jps() - reference.min_jps).abs() / reference.min_jps;
+            assert!(err < 0.03, "{kind}: modelled {} vs {}", p.isolated_jps(), reference.min_jps);
+        }
+    }
+
+    #[test]
+    fn calibration_reproduces_max_jps_within_tolerance() {
+        for kind in DnnKind::all() {
+            let p = ModelProfile::calibrated(kind);
+            let reference = p.reference();
+            let (_, best) = p.best_batched_jps();
+            let err = (best - reference.max_jps).abs() / reference.max_jps;
+            assert!(err < 0.10, "{kind}: modelled {best} vs {}", reference.max_jps);
+        }
+    }
+
+    #[test]
+    fn batching_gain_ordering_matches_table1() {
+        let gain = |k| ModelProfile::calibrated(k).batching_gain();
+        let unet = gain(DnnKind::UNet);
+        let r18 = gain(DnnKind::ResNet18);
+        let r50 = gain(DnnKind::ResNet50);
+        let inc = gain(DnnKind::InceptionV3);
+        assert!(unet < r18, "UNet {unet} should gain least (ResNet18 {r18})");
+        assert!(r18 < inc, "InceptionV3 {inc} should gain most (ResNet18 {r18})");
+        assert!(r50 > r18 * 0.9, "ResNet50 {r50} roughly comparable to ResNet18 {r18}");
+    }
+
+    #[test]
+    fn stage_latencies_sum_to_job_latency() {
+        let p = ModelProfile::calibrated(DnnKind::ResNet18);
+        let stages: f64 = (0..p.stage_count()).map(|s| p.isolated_stage_latency_us(s, 1)).sum();
+        let job = p.isolated_latency_us(1) - p.copy_time_us(1);
+        assert!((stages - job).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernels_are_valid_and_labelled() {
+        let p = ModelProfile::calibrated(DnnKind::InceptionV3);
+        let kernels = p.job_kernels(1);
+        assert_eq!(kernels.len(), p.graph().layer_count());
+        for k in &kernels {
+            assert!(k.validate().is_ok());
+            assert!(k.label.is_some());
+        }
+    }
+
+    #[test]
+    fn memory_footprints_are_plausible() {
+        let p = ModelProfile::calibrated(DnnKind::ResNet18);
+        // ~47 MB of weights, 602 KB input, 4 KB output.
+        assert!(p.weight_bytes() > 40_000_000 && p.weight_bytes() < 60_000_000);
+        assert_eq!(p.input_bytes(1), 602_112);
+        assert_eq!(p.input_bytes(4), 4 * 602_112);
+        assert_eq!(p.output_bytes(1), 4_000);
+    }
+
+    #[test]
+    fn batch_sweep_is_monotone_in_latency() {
+        let p = ModelProfile::calibrated(DnnKind::ResNet50);
+        let sweep = p.batch_sweep();
+        for w in sweep.windows(2) {
+            assert!(w[1].latency_us > w[0].latency_us);
+            assert!(w[1].batch > w[0].batch);
+        }
+    }
+
+    #[test]
+    fn uncalibrated_profile_has_unit_scales() {
+        let p = ModelProfile::uncalibrated(DnnKind::UNet);
+        assert_eq!(p.work_scale(), 1.0);
+        assert_eq!(p.par_scale(), 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Tensor shapes (channels × height × width).
+
+use std::fmt;
+
+/// A CHW activation-tensor shape (per sample, batch dimension excluded).
+///
+/// ```
+/// use daris_models::TensorShape;
+/// let input = TensorShape::new(3, 224, 224);
+/// assert_eq!(input.elements(), 3 * 224 * 224);
+/// assert_eq!(input.bytes_f32(), 3 * 224 * 224 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    /// Channels.
+    pub channels: u32,
+    /// Height.
+    pub height: u32,
+    /// Width.
+    pub width: u32,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    pub const fn new(channels: u32, height: u32, width: u32) -> Self {
+        TensorShape { channels, height, width }
+    }
+
+    /// The 224×224×3 image input used throughout the paper's evaluation.
+    pub const fn imagenet() -> Self {
+        TensorShape::new(3, 224, 224)
+    }
+
+    /// A flat feature vector (height = width = 1).
+    pub const fn flat(features: u32) -> Self {
+        TensorShape::new(features, 1, 1)
+    }
+
+    /// Number of elements per sample.
+    pub fn elements(&self) -> u64 {
+        u64::from(self.channels) * u64::from(self.height) * u64::from(self.width)
+    }
+
+    /// Bytes per sample assuming `f32` activations.
+    pub fn bytes_f32(&self) -> u64 {
+        self.elements() * 4
+    }
+
+    /// Shape after a convolution/pool with the given stride (spatial dims are
+    /// divided by the stride, rounding up; channels replaced).
+    pub fn strided(&self, out_channels: u32, stride: u32) -> TensorShape {
+        let s = stride.max(1);
+        TensorShape::new(out_channels, self.height.div_ceil(s), self.width.div_ceil(s))
+    }
+
+    /// Shape after an upsampling by an integer factor.
+    pub fn upsampled(&self, out_channels: u32, scale: u32) -> TensorShape {
+        TensorShape::new(out_channels, self.height * scale.max(1), self.width * scale.max(1))
+    }
+
+    /// Same spatial size, different channel count.
+    pub fn with_channels(&self, channels: u32) -> TensorShape {
+        TensorShape::new(channels, self.height, self.width)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_counts() {
+        let s = TensorShape::imagenet();
+        assert_eq!(s.elements(), 150_528);
+        assert_eq!(s.bytes_f32(), 602_112);
+        assert_eq!(TensorShape::flat(1000).elements(), 1000);
+    }
+
+    #[test]
+    fn strided_rounds_up() {
+        let s = TensorShape::new(3, 224, 224);
+        assert_eq!(s.strided(64, 2), TensorShape::new(64, 112, 112));
+        assert_eq!(TensorShape::new(64, 7, 7).strided(64, 2), TensorShape::new(64, 4, 4));
+        assert_eq!(s.strided(64, 0), TensorShape::new(64, 224, 224));
+    }
+
+    #[test]
+    fn upsample_and_channel_change() {
+        let s = TensorShape::new(128, 28, 28);
+        assert_eq!(s.upsampled(64, 2), TensorShape::new(64, 56, 56));
+        assert_eq!(s.with_channels(256), TensorShape::new(256, 28, 28));
+    }
+
+    #[test]
+    fn display_is_chw() {
+        assert_eq!(TensorShape::imagenet().to_string(), "3x224x224");
+    }
+}

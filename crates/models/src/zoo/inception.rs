@@ -1,0 +1,218 @@
+//! InceptionV3 layer graph (Szegedy et al., CVPR 2016) at 224×224×3 input.
+//!
+//! Inception blocks consist of several narrow parallel branches whose kernels
+//! individually occupy only a small fraction of the GPU. Executed on a single
+//! stream they serialize, which is why InceptionV3 shows the largest batching
+//! gain in Table I (3.13×) and the lowest single-stream throughput. The graph
+//! lists branch layers in serialized order (see [`crate::ModelGraph`] docs).
+
+use super::push_conv;
+use crate::{DnnKind, Layer, LayerKind, ModelGraph, TensorShape};
+
+/// Inception-A style block (three conv branches + pooled projection),
+/// returning the concatenated output shape.
+fn inception_a(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    input: TensorShape,
+    pool_proj: u32,
+) -> TensorShape {
+    // Branch 1: 1x1
+    let b1 = push_conv(layers, format!("{prefix}.b1x1"), input, 64, 1, 1);
+    // Branch 2: 1x1 -> 5x5
+    let b2a = push_conv(layers, format!("{prefix}.b5x5_1"), input, 48, 1, 1);
+    let b2 = push_conv(layers, format!("{prefix}.b5x5_2"), b2a, 64, 5, 1);
+    // Branch 3: 1x1 -> 3x3 -> 3x3
+    let b3a = push_conv(layers, format!("{prefix}.b3x3dbl_1"), input, 64, 1, 1);
+    let b3b = push_conv(layers, format!("{prefix}.b3x3dbl_2"), b3a, 96, 3, 1);
+    let b3 = push_conv(layers, format!("{prefix}.b3x3dbl_3"), b3b, 96, 3, 1);
+    // Branch 4: pool -> 1x1
+    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool_out = pool.output;
+    layers.push(pool);
+    let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, pool_proj, 1, 1);
+    let out_channels = b1.channels + b2.channels + b3.channels + b4.channels;
+    let cat = Layer::concat(format!("{prefix}.concat"), b1, out_channels);
+    let out = cat.output;
+    layers.push(cat);
+    out
+}
+
+/// Inception-B style block with factorized 7×7 branches (modelled as pairs of
+/// asymmetric convolutions approximated by 3×3/5×3 cost), returning the
+/// concatenated output shape.
+fn inception_b(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape, mid: u32) -> TensorShape {
+    // Branch 1: 1x1
+    let b1 = push_conv(layers, format!("{prefix}.b1x1"), input, 192, 1, 1);
+    // Branch 2: 1x1 -> 1x7 -> 7x1 (two asymmetric convolutions).
+    let b2a = push_conv(layers, format!("{prefix}.b7x7_1"), input, mid, 1, 1);
+    let b2b = push_conv(layers, format!("{prefix}.b7x7_2"), b2a, mid, 3, 1);
+    let b2 = push_conv(layers, format!("{prefix}.b7x7_3"), b2b, 192, 3, 1);
+    // Branch 3: 1x1 -> four asymmetric convolutions.
+    let b3a = push_conv(layers, format!("{prefix}.b7x7dbl_1"), input, mid, 1, 1);
+    let b3b = push_conv(layers, format!("{prefix}.b7x7dbl_2"), b3a, mid, 3, 1);
+    let b3c = push_conv(layers, format!("{prefix}.b7x7dbl_3"), b3b, mid, 3, 1);
+    let b3d = push_conv(layers, format!("{prefix}.b7x7dbl_4"), b3c, mid, 3, 1);
+    let b3 = push_conv(layers, format!("{prefix}.b7x7dbl_5"), b3d, 192, 3, 1);
+    // Branch 4: pool -> 1x1
+    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool_out = pool.output;
+    layers.push(pool);
+    let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, 192, 1, 1);
+    let out_channels = b1.channels + b2.channels + b3.channels + b4.channels;
+    let cat = Layer::concat(format!("{prefix}.concat"), b1, out_channels);
+    let out = cat.output;
+    layers.push(cat);
+    out
+}
+
+/// Inception-C style block at 7×7 resolution, returning the output shape.
+fn inception_c(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape) -> TensorShape {
+    let b1 = push_conv(layers, format!("{prefix}.b1x1"), input, 320, 1, 1);
+    // Branch 2: 1x1 -> split 1x3 / 3x1.
+    let b2a = push_conv(layers, format!("{prefix}.b3x3_1"), input, 384, 1, 1);
+    let b2b = push_conv(layers, format!("{prefix}.b3x3_2a"), b2a, 384, 3, 1);
+    let b2c = push_conv(layers, format!("{prefix}.b3x3_2b"), b2a, 384, 3, 1);
+    // Branch 3: 1x1 -> 3x3 -> split.
+    let b3a = push_conv(layers, format!("{prefix}.b3x3dbl_1"), input, 448, 1, 1);
+    let b3b = push_conv(layers, format!("{prefix}.b3x3dbl_2"), b3a, 384, 3, 1);
+    let b3c = push_conv(layers, format!("{prefix}.b3x3dbl_3a"), b3b, 384, 3, 1);
+    let b3d = push_conv(layers, format!("{prefix}.b3x3dbl_3b"), b3b, 384, 3, 1);
+    // Branch 4: pool projection.
+    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool_out = pool.output;
+    layers.push(pool);
+    let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, 192, 1, 1);
+    let out_channels =
+        b1.channels + b2b.channels + b2c.channels + b3c.channels + b3d.channels + b4.channels;
+    let cat = Layer::concat(format!("{prefix}.concat"), b1, out_channels);
+    let out = cat.output;
+    layers.push(cat);
+    out
+}
+
+/// Grid-size reduction block (stride-2 branches + pooling).
+fn reduction(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape, out_a: u32, out_b: u32) -> TensorShape {
+    let b1 = push_conv(layers, format!("{prefix}.b3x3"), input, out_a, 3, 2);
+    let b2a = push_conv(layers, format!("{prefix}.b3x3dbl_1"), input, out_b, 1, 1);
+    let b2b = push_conv(layers, format!("{prefix}.b3x3dbl_2"), b2a, out_b, 3, 1);
+    let b2 = push_conv(layers, format!("{prefix}.b3x3dbl_3"), b2b, out_b, 3, 2);
+    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 2 }, input);
+    let pool_out = pool.output;
+    layers.push(pool);
+    let out_channels = b1.channels + b2.channels + pool_out.channels;
+    let cat = Layer::concat(format!("{prefix}.concat"), b1, out_channels);
+    let out = cat.output;
+    layers.push(cat);
+    out
+}
+
+/// Builds the InceptionV3 graph divided into four stages: stem + Inception-A,
+/// reduction + first Inception-B half, second Inception-B half + reduction,
+/// Inception-C + classifier head.
+pub fn inception_v3() -> ModelGraph {
+    let mut layers = Vec::new();
+    let input = TensorShape::imagenet();
+
+    // ---- Stem ----
+    let mut x = push_conv(&mut layers, "stem.conv1".into(), input, 32, 3, 2);
+    x = push_conv(&mut layers, "stem.conv2".into(), x, 32, 3, 1);
+    x = push_conv(&mut layers, "stem.conv3".into(), x, 64, 3, 1);
+    let pool1 = Layer::new("stem.pool1", LayerKind::Pool { kernel: 3, stride: 2 }, x);
+    x = pool1.output;
+    layers.push(pool1);
+    x = push_conv(&mut layers, "stem.conv4".into(), x, 80, 1, 1);
+    x = push_conv(&mut layers, "stem.conv5".into(), x, 192, 3, 1);
+    let pool2 = Layer::new("stem.pool2", LayerKind::Pool { kernel: 3, stride: 2 }, x);
+    x = pool2.output;
+    layers.push(pool2);
+
+    // ---- Stage 1: 3 Inception-A blocks at 28x28 ----
+    x = inception_a(&mut layers, "mixed5b", x, 32);
+    x = inception_a(&mut layers, "mixed5c", x, 64);
+    x = inception_a(&mut layers, "mixed5d", x, 64);
+    let end_stage1 = layers.len();
+
+    // ---- Stage 2: reduction + 2 Inception-B blocks at 14x14 ----
+    x = reduction(&mut layers, "mixed6a", x, 384, 96);
+    x = inception_b(&mut layers, "mixed6b", x, 128);
+    x = inception_b(&mut layers, "mixed6c", x, 160);
+    let end_stage2 = layers.len();
+
+    // ---- Stage 3: 2 more Inception-B blocks + reduction to 7x7 ----
+    x = inception_b(&mut layers, "mixed6d", x, 160);
+    x = inception_b(&mut layers, "mixed6e", x, 192);
+    x = reduction(&mut layers, "mixed7a", x, 320, 192);
+    let end_stage3 = layers.len();
+
+    // ---- Stage 4: 2 Inception-C blocks + head ----
+    x = inception_c(&mut layers, "mixed7b", x);
+    x = inception_c(&mut layers, "mixed7c", x);
+    let gap = Layer::new("avgpool", LayerKind::GlobalPool, x);
+    let gap_out = gap.output;
+    layers.push(gap);
+    layers.push(Layer::new(
+        "fc",
+        LayerKind::Linear { in_features: gap_out.channels, out_features: 1000 },
+        gap_out,
+    ));
+    let end_stage4 = layers.len();
+
+    ModelGraph::new(
+        DnnKind::InceptionV3,
+        layers,
+        vec![
+            ("stem+inceptionA", end_stage1),
+            ("reduceA+inceptionB(1)", end_stage2),
+            ("inceptionB(2)+reduceB", end_stage3),
+            ("inceptionC+head", end_stage4),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inception_structure() {
+        let g = inception_v3();
+        // Many more kernel launches than the linear networks.
+        assert!(g.layer_count() >= 90, "{}", g.layer_count());
+        let gflops = g.total_flops() / 1e9;
+        assert!(gflops > 2.0 && gflops < 12.0, "{gflops}");
+        let params_m = g.total_params() as f64 / 1e6;
+        assert!(params_m > 15.0 && params_m < 35.0, "{params_m}");
+    }
+
+    #[test]
+    fn kernels_are_individually_small() {
+        // Median per-layer FLOPs should be much smaller than ResNet18's: the
+        // defining property behind Inception's batching hunger.
+        let g = inception_v3();
+        let mut flops: Vec<f64> = g.layers.iter().map(|l| l.flops()).collect();
+        flops.sort_by(f64::total_cmp);
+        let median = flops[flops.len() / 2];
+        let r18 = super::super::resnet18();
+        let mut r18_flops: Vec<f64> = r18.layers.iter().map(|l| l.flops()).collect();
+        r18_flops.sort_by(f64::total_cmp);
+        let r18_median = r18_flops[r18_flops.len() / 2];
+        assert!(median < r18_median, "median {median} vs ResNet18 {r18_median}");
+    }
+
+    #[test]
+    fn head_outputs_1000_classes() {
+        let g = inception_v3();
+        let fc = g.layers.last().unwrap();
+        assert_eq!(fc.output.elements(), 1000);
+    }
+
+    #[test]
+    fn spatial_resolution_shrinks_through_reductions() {
+        let g = inception_v3();
+        let mixed6b = g.layers.iter().find(|l| l.name == "mixed6b.b1x1").unwrap();
+        assert!(mixed6b.input.height <= 14);
+        let mixed7b = g.layers.iter().find(|l| l.name == "mixed7b.b1x1").unwrap();
+        assert!(mixed7b.input.height <= 7);
+    }
+}

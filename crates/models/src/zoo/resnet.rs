@@ -1,0 +1,181 @@
+//! ResNet-18 and ResNet-50 layer graphs (He et al., CVPR 2016).
+//!
+//! The paper divides ResNet into four stages along its four residual
+//! super-blocks (`layer1`..`layer4`); the stem is folded into the first stage
+//! and the classifier head into the last, matching Sec. III-B1.
+
+use super::push_conv;
+use crate::{DnnKind, Layer, LayerKind, ModelGraph, TensorShape};
+
+/// Appends a basic residual block (two 3×3 convolutions + skip add) and
+/// returns the output shape.
+fn basic_block(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    input: TensorShape,
+    out_channels: u32,
+    stride: u32,
+) -> TensorShape {
+    let mid = push_conv(layers, format!("{prefix}.conv1"), input, out_channels, 3, stride);
+    let out = push_conv(layers, format!("{prefix}.conv2"), mid, out_channels, 3, 1);
+    if stride != 1 || input.channels != out_channels {
+        push_conv(layers, format!("{prefix}.downsample"), input, out_channels, 1, stride);
+    }
+    layers.push(Layer::new(format!("{prefix}.add"), LayerKind::Add, out));
+    out
+}
+
+/// Appends a bottleneck residual block (1×1 reduce, 3×3, 1×1 expand) and
+/// returns the output shape.
+fn bottleneck_block(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    input: TensorShape,
+    mid_channels: u32,
+    stride: u32,
+) -> TensorShape {
+    let expansion = 4;
+    let out_channels = mid_channels * expansion;
+    let a = push_conv(layers, format!("{prefix}.conv1"), input, mid_channels, 1, 1);
+    let b = push_conv(layers, format!("{prefix}.conv2"), a, mid_channels, 3, stride);
+    let out = push_conv(layers, format!("{prefix}.conv3"), b, out_channels, 1, 1);
+    if stride != 1 || input.channels != out_channels {
+        push_conv(layers, format!("{prefix}.downsample"), input, out_channels, 1, stride);
+    }
+    layers.push(Layer::new(format!("{prefix}.add"), LayerKind::Add, out));
+    out
+}
+
+fn stem(layers: &mut Vec<Layer>) -> TensorShape {
+    let input = TensorShape::imagenet();
+    let c1 = push_conv(layers, "conv1".into(), input, 64, 7, 2);
+    let pool = Layer::new("maxpool", LayerKind::Pool { kernel: 3, stride: 2 }, c1);
+    let out = pool.output;
+    layers.push(pool);
+    out
+}
+
+fn head(layers: &mut Vec<Layer>, input: TensorShape, features: u32) {
+    let gap = Layer::new("avgpool", LayerKind::GlobalPool, input);
+    let gap_out = gap.output;
+    layers.push(gap);
+    layers.push(Layer::new(
+        "fc",
+        LayerKind::Linear { in_features: features, out_features: 1000 },
+        gap_out,
+    ));
+}
+
+/// Builds the ResNet-18 graph (basic blocks, [2, 2, 2, 2]).
+pub fn resnet18() -> ModelGraph {
+    let mut layers = Vec::new();
+    let mut x = stem(&mut layers);
+    // layer1: 64 channels, stride 1.
+    for b in 0..2 {
+        x = basic_block(&mut layers, &format!("layer1.{b}"), x, 64, 1);
+    }
+    let end_stage1 = layers.len();
+    for b in 0..2 {
+        x = basic_block(&mut layers, &format!("layer2.{b}"), x, 128, if b == 0 { 2 } else { 1 });
+    }
+    let end_stage2 = layers.len();
+    for b in 0..2 {
+        x = basic_block(&mut layers, &format!("layer3.{b}"), x, 256, if b == 0 { 2 } else { 1 });
+    }
+    let end_stage3 = layers.len();
+    for b in 0..2 {
+        x = basic_block(&mut layers, &format!("layer4.{b}"), x, 512, if b == 0 { 2 } else { 1 });
+    }
+    head(&mut layers, x, 512);
+    let end_stage4 = layers.len();
+    ModelGraph::new(
+        DnnKind::ResNet18,
+        layers,
+        vec![
+            ("stem+layer1", end_stage1),
+            ("layer2", end_stage2),
+            ("layer3", end_stage3),
+            ("layer4+head", end_stage4),
+        ],
+    )
+}
+
+/// Builds the ResNet-50 graph (bottleneck blocks, [3, 4, 6, 3]).
+pub fn resnet50() -> ModelGraph {
+    let mut layers = Vec::new();
+    let mut x = stem(&mut layers);
+    let plan: [(u32, usize); 4] = [(64, 3), (128, 4), (256, 6), (512, 3)];
+    let mut boundaries = Vec::new();
+    for (stage_idx, (mid, blocks)) in plan.iter().enumerate() {
+        for b in 0..*blocks {
+            let stride = if stage_idx > 0 && b == 0 { 2 } else { 1 };
+            x = bottleneck_block(&mut layers, &format!("layer{}.{b}", stage_idx + 1), x, *mid, stride);
+        }
+        if stage_idx == 3 {
+            head(&mut layers, x, 2048);
+        }
+        let name = match stage_idx {
+            0 => "stem+layer1",
+            1 => "layer2",
+            2 => "layer3",
+            _ => "layer4+head",
+        };
+        boundaries.push((name, layers.len()));
+    }
+    ModelGraph::new(DnnKind::ResNet50, layers, boundaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_structure() {
+        let g = resnet18();
+        // 2 stem + 8 blocks * (2/3 convs + add) + gap + fc
+        assert!(g.layer_count() >= 28 && g.layer_count() <= 36, "{}", g.layer_count());
+        // ~1.8 GMACs = ~3.6 GFLOPs, ~11.7 M params at 224x224.
+        let gflops = g.total_flops() / 1e9;
+        assert!(gflops > 2.8 && gflops < 4.8, "{gflops}");
+        let params_m = g.total_params() as f64 / 1e6;
+        assert!((params_m - 11.7).abs() < 1.5, "{params_m}");
+        // Final feature map is 512x7x7 before the head.
+        let fc = g.layers.iter().find(|l| l.name == "fc").unwrap();
+        assert_eq!(fc.output, TensorShape::flat(1000));
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let g = resnet50();
+        assert!(g.layer_count() >= 60, "{}", g.layer_count());
+        // ~4.1 GMACs = ~8.2 GFLOPs at 224x224.
+        let gflops = g.total_flops() / 1e9;
+        assert!(gflops > 6.5 && gflops < 10.0, "{gflops}");
+        let params_m = g.total_params() as f64 / 1e6;
+        assert!((params_m - 25.6).abs() < 3.0, "{params_m}");
+    }
+
+    #[test]
+    fn stage_flops_are_reasonably_balanced() {
+        // No stage should dominate with more than 60 % of total compute;
+        // virtual deadlines (Eq. 8) need meaningful per-stage shares.
+        for g in [resnet18(), resnet50()] {
+            let flops = g.stage_flops();
+            let total: f64 = flops.iter().sum();
+            for (i, f) in flops.iter().enumerate() {
+                assert!(f / total < 0.6, "{:?} stage {i} has {}", g.kind, f / total);
+                assert!(f / total > 0.05, "{:?} stage {i} has {}", g.kind, f / total);
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_blocks_change_resolution() {
+        let g = resnet18();
+        let l2 = g.layers.iter().find(|l| l.name == "layer2.0.conv1").unwrap();
+        assert_eq!(l2.input.height, 56);
+        assert_eq!(l2.output.height, 28);
+        let l4 = g.layers.iter().find(|l| l.name == "layer4.1.conv2").unwrap();
+        assert_eq!(l4.output, TensorShape::new(512, 7, 7));
+    }
+}

@@ -1,0 +1,146 @@
+//! UNet layer graph (Ronneberger et al., MICCAI 2015) at 224×224×3 input.
+//!
+//! UNet's wide feature maps keep the GPU busy even at batch size 1, which is
+//! why Table I reports only a 1.08× batching gain for it; the graph here
+//! preserves that "wide, few kernels" character.
+
+use super::push_conv;
+use crate::{DnnKind, Layer, LayerKind, ModelGraph, TensorShape};
+
+/// Two 3×3 convolutions at the same resolution (the classic UNet double
+/// convolution), returning the output shape.
+fn double_conv(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    input: TensorShape,
+    out_channels: u32,
+) -> TensorShape {
+    let a = push_conv(layers, format!("{prefix}.conv1"), input, out_channels, 3, 1);
+    push_conv(layers, format!("{prefix}.conv2"), a, out_channels, 3, 1)
+}
+
+/// Builds the UNet graph: a 4-level encoder, bottleneck, and 4-level decoder
+/// with skip-connection concatenations, divided into four stages
+/// (encoder-top, encoder-bottom + bottleneck, decoder-bottom, decoder-top).
+pub fn unet() -> ModelGraph {
+    let mut layers = Vec::new();
+    let input = TensorShape::imagenet();
+    let base = 64u32;
+
+    // ---- Encoder ----
+    let mut skips: Vec<TensorShape> = Vec::new();
+    let mut x = input;
+    for level in 0..4u32 {
+        let ch = base << level; // 64, 128, 256, 512
+        x = double_conv(&mut layers, &format!("enc{}", level + 1), x, ch);
+        skips.push(x);
+        let pool = Layer::new(
+            format!("enc{}.pool", level + 1),
+            LayerKind::Pool { kernel: 2, stride: 2 },
+            x,
+        );
+        x = pool.output;
+        layers.push(pool);
+        if level == 1 {
+            // End of stage 1 after the second encoder level.
+        }
+    }
+    let end_stage1 = {
+        // Stage 1 = enc1 + enc2 (layers up to and including enc2.pool).
+        layers
+            .iter()
+            .position(|l| l.name == "enc2.pool")
+            .expect("enc2.pool exists")
+            + 1
+    };
+
+    // ---- Bottleneck ----
+    x = double_conv(&mut layers, "bottleneck", x, base << 4); // 1024 @ 14x14
+    let end_stage2 = layers.len();
+
+    // ---- Decoder ----
+    for level in (0..4u32).rev() {
+        let ch = base << level; // 512, 256, 128, 64
+        let name = format!("dec{}", level + 1);
+        let up = Layer::new(format!("{name}.upsample"), LayerKind::Upsample { scale: 2 }, x);
+        let up_out = up.output;
+        layers.push(up);
+        // Up-convolution halving the channel count.
+        let upconv = push_conv(&mut layers, format!("{name}.upconv"), up_out, ch, 2, 1);
+        // Concatenate with the matching encoder skip.
+        let skip = skips[level as usize];
+        let cat = Layer::concat(format!("{name}.concat"), upconv, ch + skip.channels);
+        let cat_out = cat.output;
+        layers.push(cat);
+        x = double_conv(&mut layers, &name, cat_out, ch);
+    }
+    let end_stage3 = {
+        layers
+            .iter()
+            .position(|l| l.name == "dec3.conv2")
+            .expect("dec3.conv2 exists")
+            + 1
+    };
+
+    // Final 1×1 segmentation head (binary mask as in the paper's medical
+    // segmentation motivation).
+    push_conv(&mut layers, "head".into(), x, 2, 1, 1);
+    let end_stage4 = layers.len();
+
+    ModelGraph::new(
+        DnnKind::UNet,
+        layers,
+        vec![
+            ("encoder-top", end_stage1),
+            ("encoder-bottom+bottleneck", end_stage2),
+            ("decoder-bottom", end_stage3),
+            ("decoder-top+head", end_stage4),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unet_structure() {
+        let g = unet();
+        // 4 enc levels * 3 + 2 bottleneck + 4 dec levels * 5 + head = ~35
+        assert!(g.layer_count() >= 30 && g.layer_count() <= 45, "{}", g.layer_count());
+        let gflops = g.total_flops() / 1e9;
+        // UNet at 224x224 is tens of GFLOPs — far heavier than ResNet18.
+        assert!(gflops > 20.0, "{gflops}");
+        let params_m = g.total_params() as f64 / 1e6;
+        assert!(params_m > 20.0 && params_m < 45.0, "{params_m}");
+    }
+
+    #[test]
+    fn decoder_restores_input_resolution() {
+        let g = unet();
+        let head = g.layers.last().unwrap();
+        assert_eq!(head.name, "head");
+        assert_eq!(head.output.height, 224);
+        assert_eq!(head.output.width, 224);
+        assert_eq!(head.output.channels, 2);
+    }
+
+    #[test]
+    fn skip_concats_double_channels() {
+        let g = unet();
+        let cat = g.layers.iter().find(|l| l.name == "dec4.concat").unwrap();
+        assert_eq!(cat.output.channels, 1024);
+        let cat1 = g.layers.iter().find(|l| l.name == "dec1.concat").unwrap();
+        assert_eq!(cat1.output.channels, 128);
+    }
+
+    #[test]
+    fn wide_layers_dominate() {
+        // The average FLOPs per kernel-launching layer of UNet should exceed
+        // ResNet18's by a wide margin — this is what limits its batching gain.
+        let unet = unet();
+        let r18 = super::super::resnet18();
+        let avg = |g: &ModelGraph| g.total_flops() / g.layer_count() as f64;
+        assert!(avg(&unet) > 5.0 * avg(&r18));
+    }
+}

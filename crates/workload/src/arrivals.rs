@@ -1,0 +1,180 @@
+//! Job arrival generation.
+
+use daris_gpu::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Job, TaskSet};
+
+/// Optional jitter applied to nominal periodic release times, modelling
+/// client-side timing noise. Deadlines remain anchored to the *nominal*
+/// release (the paper's tasks are strictly periodic; jitter is an extension
+/// used in robustness tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleaseJitter {
+    /// Strictly periodic releases.
+    None,
+    /// Releases are delayed by a uniform random amount in `[0, max)`.
+    Uniform {
+        /// Maximum delay.
+        max: SimDuration,
+        /// RNG seed (kept explicit for reproducibility).
+        seed: u64,
+    },
+}
+
+/// A fully materialized, time-ordered job release plan for a task set.
+///
+/// ```
+/// use daris_workload::{ArrivalPlan, TaskSet, ReleaseJitter};
+/// use daris_models::DnnKind;
+/// use daris_gpu::SimTime;
+///
+/// let ts = TaskSet::table2(DnnKind::UNet);
+/// let plan = ArrivalPlan::generate(&ts, SimTime::from_millis(500), ReleaseJitter::None);
+/// // 15 tasks × 24 jobs/s × 0.5 s ≈ 180 releases.
+/// assert!(plan.len() >= 165 && plan.len() <= 195);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalPlan {
+    jobs: Vec<Job>,
+    horizon: SimTime,
+}
+
+impl ArrivalPlan {
+    /// Generates all job releases of `tasks` with nominal release strictly
+    /// before `horizon`, sorted by release time (ties broken by task id).
+    pub fn generate(tasks: &TaskSet, horizon: SimTime, jitter: ReleaseJitter) -> Self {
+        let mut rng = match jitter {
+            ReleaseJitter::Uniform { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            ReleaseJitter::None => None,
+        };
+        let mut jobs = Vec::new();
+        for task in tasks.tasks() {
+            let mut index = 0u64;
+            loop {
+                let mut job = task.job(index);
+                if job.release >= horizon {
+                    break;
+                }
+                if let (ReleaseJitter::Uniform { max, .. }, Some(rng)) = (jitter, rng.as_mut()) {
+                    let delay_us = rng.gen_range(0.0..max.as_micros_f64().max(1e-9));
+                    job.release = job.release + SimDuration::from_micros_f64(delay_us);
+                }
+                jobs.push(job);
+                index += 1;
+            }
+        }
+        jobs.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.task.cmp(&b.id.task)));
+        ArrivalPlan { jobs, horizon }
+    }
+
+    /// The jobs in release order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of releases in the plan.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan contains no releases.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The generation horizon.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Average offered load over the horizon, in jobs per second.
+    pub fn offered_jps(&self) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.jobs.len() as f64 / self.horizon.as_secs_f64()
+    }
+
+    /// Iterates over the jobs in release order.
+    pub fn iter(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.iter()
+    }
+}
+
+impl IntoIterator for ArrivalPlan {
+    type Item = Job;
+    type IntoIter = std::vec::IntoIter<Job>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+    use daris_models::DnnKind;
+
+    #[test]
+    fn plan_is_sorted_and_complete() {
+        let ts = TaskSet::table2(DnnKind::ResNet18);
+        let horizon = SimTime::from_millis(200);
+        let plan = ArrivalPlan::generate(&ts, horizon, ReleaseJitter::None);
+        // 51 tasks at 30 jobs/s for 0.2 s ≈ 306 jobs.
+        assert!(plan.len() >= 280 && plan.len() <= 330, "{}", plan.len());
+        for w in plan.jobs().windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+        for j in plan.iter() {
+            assert!(j.release < horizon);
+            assert_eq!(j.absolute_deadline.duration_since(j.release).as_millis_f64().round(), 33.0);
+        }
+        assert!((plan.offered_jps() - ts.offered_jps()).abs() / ts.offered_jps() < 0.1);
+    }
+
+    #[test]
+    fn jitter_perturbs_releases_but_not_deadlines() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let horizon = SimTime::from_millis(300);
+        let crisp = ArrivalPlan::generate(&ts, horizon, ReleaseJitter::None);
+        let jittered = ArrivalPlan::generate(
+            &ts,
+            horizon,
+            ReleaseJitter::Uniform { max: SimDuration::from_millis(2), seed: 7 },
+        );
+        assert_eq!(crisp.len(), jittered.len());
+        // Same seeds give identical plans.
+        let again = ArrivalPlan::generate(
+            &ts,
+            horizon,
+            ReleaseJitter::Uniform { max: SimDuration::from_millis(2), seed: 7 },
+        );
+        assert_eq!(jittered, again);
+        // Deadlines are anchored to nominal releases, so the jittered job's
+        // deadline matches the crisp one for the same job id.
+        for j in jittered.iter() {
+            let nominal = crisp.iter().find(|c| c.id == j.id).unwrap();
+            assert_eq!(j.absolute_deadline, nominal.absolute_deadline);
+            assert!(j.release >= nominal.release);
+        }
+    }
+
+    #[test]
+    fn empty_horizon_gives_empty_plan() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let plan = ArrivalPlan::generate(&ts, SimTime::ZERO, ReleaseJitter::None);
+        assert!(plan.is_empty());
+        assert_eq!(plan.offered_jps(), 0.0);
+    }
+
+    #[test]
+    fn both_priorities_appear_in_plan() {
+        let ts = TaskSet::table2(DnnKind::InceptionV3);
+        let plan = ArrivalPlan::generate(&ts, SimTime::from_millis(100), ReleaseJitter::None);
+        assert!(plan.iter().any(|j| j.priority == Priority::High));
+        assert!(plan.iter().any(|j| j.priority == Priority::Low));
+    }
+}

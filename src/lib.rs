@@ -1,0 +1,22 @@
+//! # daris
+//!
+//! Facade crate for the DARIS reproduction. It re-exports the workspace
+//! crates under stable names so that examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`gpu`] — the discrete-event GPU simulator (SMs, MPS contexts, streams).
+//! * [`models`] — calibrated DNN profiles (ResNet18/50, UNet, InceptionV3).
+//! * [`workload`] — periodic real-time task sets (Table II and variants).
+//! * [`metrics`] — throughput, deadline-miss and response-time metrics.
+//! * [`core`] — the DARIS scheduler itself.
+//! * [`baselines`] — single-tenant, batching, GSlice-like and FIFO baselines.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use daris_baselines as baselines;
+pub use daris_core as core;
+pub use daris_gpu as gpu;
+pub use daris_metrics as metrics;
+pub use daris_models as models;
+pub use daris_workload as workload;
