@@ -107,7 +107,8 @@ impl BatchingServer {
                 let target = batch_sizes.get(kind).copied().unwrap_or(1) as usize;
                 let full = queue.len() >= target;
                 let waited = now_us - head.release.as_micros_f64();
-                let timeout = BATCH_TIMEOUT_PERIODS * min_period_us.get(kind).copied().unwrap_or(f64::MAX);
+                let timeout =
+                    BATCH_TIMEOUT_PERIODS * min_period_us.get(kind).copied().unwrap_or(f64::MAX);
                 if full || waited >= timeout {
                     let urgency = head.absolute_deadline.as_micros_f64();
                     if best.map(|(_, _, u)| urgency < u).unwrap_or(true) {
@@ -207,12 +208,8 @@ mod tests {
     fn partial_batches_are_flushed_for_light_load() {
         // A single light task never fills a batch of 8; the timeout must
         // flush it so jobs still complete.
-        let light: TaskSet = TaskSet::table2(DnnKind::InceptionV3)
-            .tasks()
-            .iter()
-            .take(1)
-            .cloned()
-            .collect();
+        let light: TaskSet =
+            TaskSet::table2(DnnKind::InceptionV3).tasks().iter().take(1).cloned().collect();
         let summary = BatchingServer::new().run(&light, SimTime::from_millis(400)).unwrap();
         assert!(summary.total.completed > 3, "{:?}", summary.total);
     }

@@ -130,7 +130,8 @@ mod tests {
     #[test]
     fn fifo_treats_priorities_equally() {
         let taskset = TaskSet::table2(DnnKind::ResNet18);
-        let summary = FifoMultiStreamServer::new(4).run(&taskset, SimTime::from_millis(300)).unwrap();
+        let summary =
+            FifoMultiStreamServer::new(4).run(&taskset, SimTime::from_millis(300)).unwrap();
         // Under 150 % overload with no prioritization both classes miss
         // deadlines at comparable rates (the paper reports up to 11 % overall
         // misses for RTGPU; our overload level is far harsher).

@@ -77,10 +77,10 @@ impl SingleTenantServer {
         let mut busy = false;
 
         let dispatch = |gpu: &mut Gpu,
-                            pending: &mut VecDeque<Job>,
-                            in_flight: &mut HashMap<u64, Job>,
-                            busy: &mut bool,
-                            next_tag: &mut u64|
+                        pending: &mut VecDeque<Job>,
+                        in_flight: &mut HashMap<u64, Job>,
+                        busy: &mut bool,
+                        next_tag: &mut u64|
          -> Result<(), GpuError> {
             if *busy {
                 return Ok(());
@@ -212,12 +212,8 @@ mod tests {
 
     #[test]
     fn underloaded_taskset_is_served_without_misses() {
-        let light: TaskSet = TaskSet::table2(DnnKind::UNet)
-            .tasks()
-            .iter()
-            .take(3)
-            .cloned()
-            .collect();
+        let light: TaskSet =
+            TaskSet::table2(DnnKind::UNet).tasks().iter().take(3).cloned().collect();
         let server = SingleTenantServer::new();
         let summary = server.run(&light, SimTime::from_millis(300)).unwrap();
         assert!(summary.total.completed > 10);

@@ -43,7 +43,11 @@ fn bench_fig4_to_6_tasksets(c: &mut Criterion) {
         let taskset = TaskSet::table2(kind);
         group.bench_function(format!("{kind}_mps_6x1_os6"), |b| {
             b.iter(|| {
-                run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon())
+                run_daris_until(
+                    &taskset,
+                    DarisConfig::new(GpuPartition::mps(6, 6.0)),
+                    bench_horizon(),
+                )
             })
         });
         group.bench_function(format!("{kind}_str_1x6"), |b| {
@@ -62,7 +66,9 @@ fn bench_fig7_mixed(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("mps_6x1_os6", |b| {
-        b.iter(|| run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon()))
+        b.iter(|| {
+            run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon())
+        })
     });
     group.finish();
 }
@@ -107,7 +113,9 @@ fn bench_fig10_batched(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("inception_batched_mps_6x1_os6", |b| {
-        b.iter(|| run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon()))
+        b.iter(|| {
+            run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon())
+        })
     });
     group.finish();
 }
@@ -134,7 +142,9 @@ fn bench_gslice_comparison(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("daris_resnet50_mps_6x1_os6", |b| {
-        b.iter(|| run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon()))
+        b.iter(|| {
+            run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), bench_horizon())
+        })
     });
     group.bench_function("gslice_resnet50", |b| {
         b.iter(|| {

@@ -7,7 +7,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use daris_core::{populate_contexts, virtual_deadlines, AblationFlags, ContextLoad, MretEstimator, ReadyStage, StageQueue};
+use daris_core::{
+    populate_contexts, virtual_deadlines, AblationFlags, ContextLoad, MretEstimator, ReadyStage,
+    StageQueue,
+};
 use daris_gpu::{Gpu, GpuSpec, KernelDesc, SimDuration, SimTime, WorkItem};
 use daris_models::DnnKind;
 use daris_workload::{JobId, Priority, TaskId, TaskSet};

@@ -28,10 +28,8 @@ use daris_workload::{Priority, RatioScenario, TaskSet};
 /// Simulated horizon for each configuration, from `DARIS_HORIZON_MS`
 /// (default 1500 ms).
 pub fn horizon() -> SimTime {
-    let ms = std::env::var("DARIS_HORIZON_MS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(1500);
+    let ms =
+        std::env::var("DARIS_HORIZON_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(1500);
     SimTime::from_millis(ms.max(50))
 }
 
@@ -50,8 +48,13 @@ pub fn run_daris(taskset: &TaskSet, config: DarisConfig) -> ExperimentOutcome {
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`run_daris`]).
-pub fn run_daris_until(taskset: &TaskSet, config: DarisConfig, horizon: SimTime) -> ExperimentOutcome {
-    let mut scheduler = DarisScheduler::new(taskset, config).expect("valid experiment configuration");
+pub fn run_daris_until(
+    taskset: &TaskSet,
+    config: DarisConfig,
+    horizon: SimTime,
+) -> ExperimentOutcome {
+    let mut scheduler =
+        DarisScheduler::new(taskset, config).expect("valid experiment configuration");
     scheduler.run_until(horizon)
 }
 
@@ -98,7 +101,13 @@ fn summary_row(policy: &str, label: &str, summary: &ExperimentSummary) -> Vec<St
     ]
 }
 
-fn taskset_figure(title: &str, taskset: &TaskSet, reference_upper: f64, reference_lower: f64, batched: bool) -> Table {
+fn taskset_figure(
+    title: &str,
+    taskset: &TaskSet,
+    reference_upper: f64,
+    reference_lower: f64,
+    batched: bool,
+) -> Table {
     let mut table = Table::new(title);
     table.set_headers(["policy", "config", "JPS", "HP DMR", "LP DMR", "LP rejected", "GPU util"]);
     table.add_row([
@@ -171,7 +180,14 @@ pub fn table1() -> Table {
 /// Table II: the task sets used in the main experiments.
 pub fn table2() -> Table {
     let mut table = Table::new("Table II — task sets");
-    table.set_headers(["Name", "#High", "#Low", "Task JPS", "offered JPS", "overload vs upper baseline"]);
+    table.set_headers([
+        "Name",
+        "#High",
+        "#Low",
+        "Task JPS",
+        "offered JPS",
+        "overload vs upper baseline",
+    ]);
     for kind in DnnKind::task_set_kinds() {
         let ts = TaskSet::table2(kind);
         let upper = Table1Reference::for_kind(kind).max_jps;
@@ -340,13 +356,17 @@ pub fn figure10_batching() -> Vec<Table> {
             for os in [1.0, 2.0, f64::from(np)] {
                 let partition = GpuPartition::mps(np, os);
                 let unbatched = run_daris(&taskset, DarisConfig::new(partition));
-                let batched = run_daris(&taskset.with_paper_batch_sizes(), DarisConfig::new(partition));
+                let batched =
+                    run_daris(&taskset.with_paper_batch_sizes(), DarisConfig::new(partition));
                 table.add_row([
                     partition.label(),
                     fmt_num(batched.summary.throughput_jps, 0),
                     format!(
                         "{:.0}%",
-                        100.0 * (batched.summary.throughput_jps / unbatched.summary.throughput_jps.max(1e-9) - 1.0)
+                        100.0
+                            * (batched.summary.throughput_jps
+                                / unbatched.summary.throughput_jps.max(1e-9)
+                                - 1.0)
                     ),
                     fmt_pct(batched.summary.high.deadline_miss_rate),
                     fmt_pct(batched.summary.low.deadline_miss_rate),
@@ -423,7 +443,8 @@ pub fn gslice_comparison() -> Table {
     let gslice = GsliceServer::new(2).run(&taskset, horizon).expect("gslice baseline runs");
     let fifo = FifoMultiStreamServer::new(6).run(&taskset, horizon).expect("fifo baseline runs");
     let daris = run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)), horizon);
-    let daris_no_os = run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 1.0)), horizon);
+    let daris_no_os =
+        run_daris_until(&taskset, DarisConfig::new(GpuPartition::mps(6, 1.0)), horizon);
 
     let mut table = Table::new("Sec. VI-B — ResNet50 comparison with state-of-the-art");
     table.set_headers(["scheduler", "JPS (measured)", "JPS (paper)", "HP DMR", "LP DMR"]);
@@ -465,6 +486,8 @@ mod tests {
     fn table_builders_and_horizon_override() {
         // Env manipulation and the table smoke checks share one test so the
         // environment is never mutated concurrently.
+        let saved = std::env::var("DARIS_HORIZON_MS").ok();
+        std::env::remove_var("DARIS_HORIZON_MS");
         assert_eq!(horizon(), SimTime::from_millis(1500));
         std::env::set_var("DARIS_HORIZON_MS", "1");
         assert_eq!(horizon(), SimTime::from_millis(50), "clamped to a sane minimum");
@@ -477,6 +500,9 @@ mod tests {
         assert_eq!(t2.row_count(), 3);
         let f8 = figure8_ablation();
         assert_eq!(f8.row_count(), 5);
-        std::env::remove_var("DARIS_HORIZON_MS");
+        match saved {
+            Some(v) => std::env::set_var("DARIS_HORIZON_MS", v),
+            None => std::env::remove_var("DARIS_HORIZON_MS"),
+        }
     }
 }

@@ -62,7 +62,9 @@ impl AfetProfiler {
         for (kind, profile) in profiles {
             let stages = (0..profile.stage_count())
                 .map(|s| {
-                    SimDuration::from_micros_f64(profile.isolated_stage_latency_us(s, 1) * inflation)
+                    SimDuration::from_micros_f64(
+                        profile.isolated_stage_latency_us(s, 1) * inflation,
+                    )
                 })
                 .collect();
             per_kind.insert(*kind, stages);
@@ -135,9 +137,10 @@ fn measure_full_load(
     let stage_count = target_profile.stage_count();
     let mut sums = vec![0.0f64; stage_count];
     for rep in 0..REPETITIONS {
-        for stage in 0..stage_count {
+        for (stage, sum) in sums.iter_mut().enumerate() {
             let stage_tag = (rep * stage_count + stage) as u64;
-            let mut item = WorkItem::new(stage_tag).with_kernels(target_profile.stage_kernels(stage, 1));
+            let mut item =
+                WorkItem::new(stage_tag).with_kernels(target_profile.stage_kernels(stage, 1));
             if stage == 0 {
                 item = item.with_h2d_bytes(target_profile.input_bytes(1));
             }
@@ -146,13 +149,12 @@ fn measure_full_load(
             }
             gpu.submit(target_stream, item)?;
             // Run until this stage finishes (background work keeps flowing).
-            loop {
-                let Some(t) = gpu.next_event_time() else { break };
+            while let Some(t) = gpu.next_event_time() {
                 let completions = gpu.advance_to(t);
                 let mut done = false;
                 for c in completions {
                     if c.stream == target_stream && c.tag == stage_tag {
-                        sums[stage] += c.execution_time().as_micros_f64();
+                        *sum += c.execution_time().as_micros_f64();
                         done = true;
                     }
                 }
@@ -175,11 +177,7 @@ mod tests {
     use daris_workload::TaskSet;
 
     fn profiles_for(taskset: &TaskSet) -> HashMap<DnnKind, ModelProfile> {
-        taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| (k, ModelProfile::calibrated(k)))
-            .collect()
+        taskset.model_kinds().into_iter().map(|k| (k, ModelProfile::calibrated(k))).collect()
     }
 
     #[test]

@@ -106,7 +106,9 @@ impl GpuPartition {
     /// Validates the partition against a device.
     pub(crate) fn validate(&self, spec: &GpuSpec) -> Result<(), CoreError> {
         if self.n_contexts == 0 || self.streams_per_context == 0 {
-            return Err(CoreError::InvalidConfig("partition needs at least one context and stream".into()));
+            return Err(CoreError::InvalidConfig(
+                "partition needs at least one context and stream".into(),
+            ));
         }
         if self.oversubscription < 1.0 - 1e-9 {
             return Err(CoreError::InvalidConfig(format!(
@@ -328,7 +330,10 @@ mod tests {
         assert_eq!(cfg.window_size, 5);
         let bad = DarisConfig::new(GpuPartition::mps(6, 0.2));
         assert!(bad.validate().is_err());
-        assert_eq!(DarisConfig::new(GpuPartition::str_streams(2)).with_window_size(0).window_size, 1);
+        assert_eq!(
+            DarisConfig::new(GpuPartition::str_streams(2)).with_window_size(0).window_size,
+            1
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidConfig(reason) => write!(f, "invalid scheduler configuration: {reason}"),
+            CoreError::InvalidConfig(reason) => {
+                write!(f, "invalid scheduler configuration: {reason}")
+            }
             CoreError::EmptyTaskSet => write!(f, "task set contains no tasks"),
             CoreError::Gpu(e) => write!(f, "gpu simulator error: {e}"),
         }

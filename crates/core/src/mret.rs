@@ -34,7 +34,11 @@ pub struct MretEstimator {
 impl MretEstimator {
     /// Creates an estimator with window size `ws` (the paper uses 5).
     pub fn new(window_size: usize) -> Self {
-        MretEstimator { window_size: window_size.max(1), seeds: HashMap::new(), windows: HashMap::new() }
+        MretEstimator {
+            window_size: window_size.max(1),
+            seeds: HashMap::new(),
+            windows: HashMap::new(),
+        }
     }
 
     /// The window size in use.
@@ -70,11 +74,7 @@ impl MretEstimator {
                 return *max;
             }
         }
-        self.seeds
-            .get(&task)
-            .and_then(|s| s.get(stage))
-            .copied()
-            .unwrap_or(SimDuration::ZERO)
+        self.seeds.get(&task).and_then(|s| s.get(stage)).copied().unwrap_or(SimDuration::ZERO)
     }
 
     /// MRET of a whole task (Eq. 2): the sum of its per-stage MRETs.

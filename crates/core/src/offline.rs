@@ -71,7 +71,11 @@ where
 
 /// Convenience view of a context assignment: the task ids placed on each
 /// context.
-pub fn assignment_by_context(tasks: &[TaskSpec], assignment: &[usize], n_contexts: usize) -> Vec<Vec<TaskId>> {
+pub fn assignment_by_context(
+    tasks: &[TaskSpec],
+    assignment: &[usize],
+    n_contexts: usize,
+) -> Vec<Vec<TaskId>> {
     let mut per_context = vec![Vec::new(); n_contexts.max(1)];
     for (idx, &ctx) in assignment.iter().enumerate() {
         per_context[ctx.min(n_contexts.saturating_sub(1))].push(tasks[idx].id);

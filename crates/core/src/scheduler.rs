@@ -131,8 +131,9 @@ impl DarisScheduler {
         let assignment = populate_contexts(taskset.tasks(), n_contexts, |t| {
             afet.task_afet(t.model).as_micros_f64() / t.period.as_micros_f64()
         });
-        let mut loads: Vec<ContextLoad> =
-            (0..n_contexts).map(|_| ContextLoad::new(config.partition.streams_per_context)).collect();
+        let mut loads: Vec<ContextLoad> = (0..n_contexts)
+            .map(|_| ContextLoad::new(config.partition.streams_per_context))
+            .collect();
         for (idx, task) in taskset.tasks().iter().enumerate() {
             let util = mret.task_utilization(task.id, task.period);
             loads[assignment[idx]].assign_task(task.id, task.priority, util);
@@ -205,7 +206,12 @@ impl DarisScheduler {
             let completions = self.gpu.advance_to(step_to);
             self.now = step_to;
             for completion in completions {
-                self.handle_completion(completion.tag, completion.finished_at, completion.execution_time(), completion.stream);
+                self.handle_completion(
+                    completion.tag,
+                    completion.finished_at,
+                    completion.execution_time(),
+                    completion.stream,
+                );
             }
             while next_arrival < arrivals.len() && arrivals[next_arrival].release <= self.now {
                 let job = arrivals[next_arrival];
@@ -219,17 +225,24 @@ impl DarisScheduler {
         let completions = self.gpu.advance_to(horizon);
         self.now = horizon;
         for completion in completions {
-            self.handle_completion(completion.tag, completion.finished_at, completion.execution_time(), completion.stream);
+            self.handle_completion(
+                completion.tag,
+                completion.finished_at,
+                completion.execution_time(),
+                completion.stream,
+            );
         }
 
-        let summary = self
-            .metrics
-            .summarize(horizon)
-            .with_gpu_utilization(self.gpu.average_utilization());
+        let summary =
+            self.metrics.summarize(horizon).with_gpu_utilization(self.gpu.average_utilization());
         ExperimentOutcome {
             summary,
             mret_trace: std::mem::take(&mut self.mret_trace),
-            config_label: format!("{} {}", self.config.partition.policy, self.config.partition.label()),
+            config_label: format!(
+                "{} {}",
+                self.config.partition.policy,
+                self.config.partition.label()
+            ),
         }
     }
 
@@ -305,7 +318,8 @@ impl DarisScheduler {
             if ctx == home || !admits(ctx) {
                 continue;
             }
-            let finish = self.predicted_finish_us(ctx) + self.mret.task_mret(task.id).as_micros_f64();
+            let finish =
+                self.predicted_finish_us(ctx) + self.mret.task_mret(task.id).as_micros_f64();
             if best.map(|(_, f)| finish < f).unwrap_or(true) {
                 best = Some((ctx, finish));
             }
@@ -331,11 +345,7 @@ impl DarisScheduler {
         let edf_deadline = if is_last {
             active.job.absolute_deadline
         } else {
-            active
-                .virtual_deadlines
-                .get(stage)
-                .copied()
-                .unwrap_or(active.job.absolute_deadline)
+            active.virtual_deadlines.get(stage).copied().unwrap_or(active.job.absolute_deadline)
         };
         ReadyStage {
             job: active.job.id,
@@ -347,22 +357,31 @@ impl DarisScheduler {
         }
     }
 
-    fn handle_completion(&mut self, tag: u64, finished_at: SimTime, execution: SimDuration, stream: StreamId) {
+    fn handle_completion(
+        &mut self,
+        tag: u64,
+        finished_at: SimTime,
+        execution: SimDuration,
+        stream: StreamId,
+    ) {
         let Some((job_id, stage)) = self.tag_map.remove(&tag) else { return };
         self.stream_busy.insert(stream, false);
         let task = job_id.task;
         if self.config.record_mret_trace {
             let predicted = self.mret.stage_mret(task, stage);
-            self.mret_trace.push(MretSample { at: finished_at, task, stage, actual: execution, predicted });
+            self.mret_trace.push(MretSample {
+                at: finished_at,
+                task,
+                stage,
+                actual: execution,
+                predicted,
+            });
         }
         self.mret.record(task, stage, execution);
 
         let Some(mut active) = self.active.remove(&job_id) else { return };
-        let missed_virtual = active
-            .virtual_deadlines
-            .get(stage)
-            .map(|d| finished_at > *d)
-            .unwrap_or(false);
+        let missed_virtual =
+            active.virtual_deadlines.get(stage).map(|d| finished_at > *d).unwrap_or(false);
         if stage + 1 < active.stage_count {
             active.next_stage = stage + 1;
             active.predecessor_missed = missed_virtual;
@@ -403,10 +422,9 @@ impl DarisScheduler {
     fn submit_stage(&mut self, stream: StreamId, ready: &ReadyStage) -> Result<()> {
         let Some(active) = self.active.get(&ready.job) else { return Ok(()) };
         let job = active.job;
-        let profile = self
-            .profiles
-            .get(&job.model)
-            .ok_or_else(|| CoreError::InvalidConfig(format!("missing profile for {}", job.model)))?;
+        let profile = self.profiles.get(&job.model).ok_or_else(|| {
+            CoreError::InvalidConfig(format!("missing profile for {}", job.model))
+        })?;
         let staging = self.config.ablation.staging;
         let kernels = if staging {
             profile.stage_kernels(ready.stage, job.batch_size)
@@ -434,7 +452,11 @@ impl DarisScheduler {
 /// Per-stage MRET seeds for a task, respecting the staging ablation (a job
 /// dispatched as a whole unit has a single "stage" whose seed is the whole
 /// AFET).
-fn effective_stage_seeds(afet: &AfetProfiler, task: &TaskSpec, config: &DarisConfig) -> Vec<SimDuration> {
+fn effective_stage_seeds(
+    afet: &AfetProfiler,
+    task: &TaskSpec,
+    config: &DarisConfig,
+) -> Vec<SimDuration> {
     let stages = afet.stage_afets(task.model);
     if config.ablation.staging {
         stages.to_vec()
@@ -502,11 +524,8 @@ mod tests {
 
     #[test]
     fn hp_admission_flag_allows_hp_rejections() {
-        let taskset = TaskSet::with_ratio(
-            DnnKind::ResNet18,
-            daris_workload::RatioScenario::Overload,
-            0.9,
-        );
+        let taskset =
+            TaskSet::with_ratio(DnnKind::ResNet18, daris_workload::RatioScenario::Overload, 0.9);
         let config = DarisConfig::new(GpuPartition::mps(6, 6.0)).with_hp_admission();
         let outcome = short_run(config, &taskset, 300);
         assert!(outcome.summary.high.rejected > 0, "Overload+HPA should drop some HP jobs");
@@ -548,7 +567,8 @@ mod tests {
     #[test]
     fn weights_are_resident_in_device_memory() {
         let taskset = TaskSet::mixed();
-        let scheduler = DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 2.0))).unwrap();
+        let scheduler =
+            DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 2.0))).unwrap();
         let stats = scheduler.gpu().memory().stats();
         assert_eq!(stats.allocations, 3, "one weight allocation per model kind");
         assert!(stats.allocated > 100_000_000);

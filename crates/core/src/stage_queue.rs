@@ -1,8 +1,8 @@
 //! The stage scheduler: eight fixed priority levels with EDF tie-breaking
 //! (Sec. IV-B2).
 
-use std::collections::BinaryHeap;
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use daris_gpu::SimTime;
 use daris_workload::{JobId, Priority};

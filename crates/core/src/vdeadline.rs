@@ -19,7 +19,10 @@ use daris_gpu::SimDuration;
 /// assert_eq!(vd[0], SimDuration::from_millis(10));
 /// assert_eq!(vd[1], SimDuration::from_millis(40));
 /// ```
-pub fn virtual_deadlines(stage_mrets: &[SimDuration], relative_deadline: SimDuration) -> Vec<SimDuration> {
+pub fn virtual_deadlines(
+    stage_mrets: &[SimDuration],
+    relative_deadline: SimDuration,
+) -> Vec<SimDuration> {
     let n = stage_mrets.len();
     if n == 0 {
         return Vec::new();
@@ -29,11 +32,7 @@ pub fn virtual_deadlines(stage_mrets: &[SimDuration], relative_deadline: SimDura
     let mut cumulative = Vec::with_capacity(n);
     let mut acc = 0.0;
     for (j, mret) in stage_mrets.iter().enumerate() {
-        let share = if total > 0.0 {
-            mret.as_micros_f64() / total
-        } else {
-            1.0 / n as f64
-        };
+        let share = if total > 0.0 { mret.as_micros_f64() / total } else { 1.0 / n as f64 };
         acc += share * deadline_us;
         if j + 1 == n {
             // Avoid rounding drift on the last stage: it owns the full deadline.

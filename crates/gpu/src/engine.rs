@@ -22,8 +22,8 @@ use crate::kernel::{KernelDesc, KernelPhase, WorkItem, WorkItemId};
 use crate::stream::Stream;
 use crate::trace::{Trace, TraceEvent, TraceEventKind};
 use crate::{
-    ContextId, ContextState, GpuError, GpuSpec, MemoryPool, Result, SimDuration, SimTime,
-    StreamId, StreamState, XorShiftRng,
+    ContextId, ContextState, GpuError, GpuSpec, MemoryPool, Result, SimDuration, SimTime, StreamId,
+    StreamState, XorShiftRng,
 };
 
 /// Work below this many SM-microseconds counts as finished (guards against
@@ -586,11 +586,8 @@ impl Gpu {
             changed = false;
 
             // Copy completion.
-            let copy_done = self
-                .active_copy
-                .as_ref()
-                .map(|c| c.remaining.is_zero())
-                .unwrap_or(false);
+            let copy_done =
+                self.active_copy.as_ref().map(|c| c.remaining.is_zero()).unwrap_or(false);
             if copy_done {
                 let copy = self.active_copy.take().expect("checked above");
                 changed = true;
@@ -901,11 +898,8 @@ mod tests {
         let s1 = gpu.add_stream(ctx).unwrap();
         let s2 = gpu.add_stream(ctx).unwrap();
         // 12_000 bytes at 12_000 bytes/µs = 1 µs + 8 µs fixed latency.
-        let mk = |tag| {
-            WorkItem::new(tag)
-                .with_kernel(KernelDesc::new(68.0, 68))
-                .with_h2d_bytes(12_000)
-        };
+        let mk =
+            |tag| WorkItem::new(tag).with_kernel(KernelDesc::new(68.0, 68)).with_h2d_bytes(12_000);
         gpu.submit(s1, mk(1)).unwrap();
         gpu.submit(s2, mk(2)).unwrap();
         let done = gpu.run_to_idle();
@@ -955,9 +949,8 @@ mod tests {
         let s = gpu.add_stream(ctx).unwrap();
         gpu.submit(
             s,
-            WorkItem::new(1).with_kernel(
-                KernelDesc::new(680.0, 68).with_launch_overhead(SimDuration::ZERO),
-            ),
+            WorkItem::new(1)
+                .with_kernel(KernelDesc::new(680.0, 68).with_launch_overhead(SimDuration::ZERO)),
         )
         .unwrap();
         gpu.run_to_idle();

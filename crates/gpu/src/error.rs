@@ -43,10 +43,9 @@ impl fmt::Display for GpuError {
             GpuError::UnknownContext(id) => write!(f, "unknown GPU context {id}"),
             GpuError::UnknownStream(id) => write!(f, "unknown CUDA stream {id}"),
             GpuError::ZeroQuota => write!(f, "context SM quota must be at least 1"),
-            GpuError::QuotaExceedsDevice { quota, sm_count } => write!(
-                f,
-                "context quota of {quota} SMs exceeds the {sm_count} SMs of the device"
-            ),
+            GpuError::QuotaExceedsDevice { quota, sm_count } => {
+                write!(f, "context quota of {quota} SMs exceeds the {sm_count} SMs of the device")
+            }
             GpuError::EmptyWorkItem => write!(f, "work item contains no kernels"),
             GpuError::InvalidKernel(reason) => write!(f, "invalid kernel description: {reason}"),
             GpuError::OutOfMemory { requested, available } => write!(

@@ -33,7 +33,11 @@ pub struct InterferenceModel {
 impl InterferenceModel {
     /// An idealized device with no cross-context interference and no jitter.
     pub fn none() -> Self {
-        InterferenceModel { per_context_penalty: 0.0, oversubscription_penalty: 0.0, work_jitter: 0.0 }
+        InterferenceModel {
+            per_context_penalty: 0.0,
+            oversubscription_penalty: 0.0,
+            work_jitter: 0.0,
+        }
     }
 
     /// Efficiency factor (`0 < e <= 1`) applied to every SM allocation when
@@ -42,7 +46,9 @@ impl InterferenceModel {
     pub fn efficiency(&self, busy_contexts: usize, demand_ratio: f64) -> f64 {
         let extra_ctx = busy_contexts.saturating_sub(1) as f64;
         let overshoot = (demand_ratio - 1.0).max(0.0);
-        1.0 / (1.0 + self.per_context_penalty * extra_ctx + self.oversubscription_penalty * overshoot)
+        1.0 / (1.0
+            + self.per_context_penalty * extra_ctx
+            + self.oversubscription_penalty * overshoot)
     }
 }
 

@@ -38,14 +38,14 @@ impl SimTime {
         SimTime(ns)
     }
 
-    /// Creates an instant from microseconds.
+    /// Creates an instant from microseconds, saturating at [`SimTime::MAX`].
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Creates an instant from milliseconds.
+    /// Creates an instant from milliseconds, saturating at [`SimTime::MAX`].
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Creates an instant from a floating-point number of seconds.
@@ -96,14 +96,14 @@ impl SimDuration {
         SimDuration(ns)
     }
 
-    /// Creates a duration from microseconds.
+    /// Creates a duration from microseconds, saturating at [`SimDuration::MAX`].
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
-    /// Creates a duration from milliseconds.
+    /// Creates a duration from milliseconds, saturating at [`SimDuration::MAX`].
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
     /// Creates a duration from a floating-point number of microseconds.
@@ -256,10 +256,7 @@ mod tests {
         assert_eq!((t1 - t0).as_millis_f64(), 5.0);
         assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
         assert_eq!(t1.duration_since(t0), SimDuration::from_millis(5));
-        assert_eq!(
-            SimDuration::from_millis(8) - SimDuration::from_millis(10),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_millis(8) - SimDuration::from_millis(10), SimDuration::ZERO);
         assert_eq!(SimDuration::from_micros(4) * 3, SimDuration::from_micros(12));
         assert_eq!(SimDuration::from_micros(12) / 4, SimDuration::from_micros(3));
     }

@@ -99,7 +99,7 @@ proptest! {
             prop_assert!(gpu.now() >= last);
             last = gpu.now();
             all.extend(done);
-            step = step + daris_gpu::SimDuration::from_micros(10);
+            step += daris_gpu::SimDuration::from_micros(10);
         }
         prop_assert_eq!(all.len(), count);
         for c in &all {

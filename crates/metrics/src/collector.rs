@@ -148,7 +148,8 @@ impl Accumulator {
 
     fn finish(self) -> PrioritySummary {
         let accepted = self.released - self.rejected;
-        let miss_rate = if accepted == 0 { 0.0 } else { self.deadline_misses as f64 / accepted as f64 };
+        let miss_rate =
+            if accepted == 0 { 0.0 } else { self.deadline_misses as f64 / accepted as f64 };
         PrioritySummary {
             released: self.released,
             accepted,

@@ -60,10 +60,7 @@ impl Table {
     }
 
     fn column_widths(&self) -> Vec<usize> {
-        let columns = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -153,7 +150,7 @@ mod tests {
 
     #[test]
     fn number_formatting() {
-        assert_eq!(fmt_num(3.14159, 2), "3.14");
+        assert_eq!(fmt_num(3.456, 2), "3.46");
         assert_eq!(fmt_num(-0.0, 1), "0.0");
         assert_eq!(fmt_pct(0.025), "2.5%");
         assert_eq!(fmt_pct(0.0), "0.0%");

@@ -30,7 +30,15 @@ pub struct ResponseStats {
 impl ResponseStats {
     /// An all-zero summary for an empty sample set.
     pub fn empty() -> Self {
-        ResponseStats { count: 0, min_ms: 0.0, mean_ms: 0.0, p50_ms: 0.0, p95_ms: 0.0, p99_ms: 0.0, max_ms: 0.0 }
+        ResponseStats {
+            count: 0,
+            min_ms: 0.0,
+            mean_ms: 0.0,
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            max_ms: 0.0,
+        }
     }
 
     /// Computes statistics from raw millisecond samples.

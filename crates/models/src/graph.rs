@@ -116,16 +116,9 @@ mod tests {
         );
         let l2 = Layer::new("pool", LayerKind::Pool { kernel: 2, stride: 2 }, l1.output);
         let l3 = Layer::new("gap", LayerKind::GlobalPool, l2.output);
-        let l4 = Layer::new(
-            "fc",
-            LayerKind::Linear { in_features: 8, out_features: 10 },
-            l3.output,
-        );
-        ModelGraph::new(
-            DnnKind::ResNet18,
-            vec![l1, l2, l3, l4],
-            vec![("front", 2), ("back", 4)],
-        )
+        let l4 =
+            Layer::new("fc", LayerKind::Linear { in_features: 8, out_features: 10 }, l3.output);
+        ModelGraph::new(DnnKind::ResNet18, vec![l1, l2, l3, l4], vec![("front", 2), ("back", 4)])
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl Layer {
             LayerKind::Conv2d { in_channels, kernel, .. } => {
                 2.0 * out_elems * f64::from(in_channels) * f64::from(kernel * kernel) * 1.05
             }
-            LayerKind::Linear { in_features, .. } => 2.0 * out_elems * f64::from(in_features) * 1.05,
+            LayerKind::Linear { in_features, .. } => {
+                2.0 * out_elems * f64::from(in_features) * 1.05
+            }
             LayerKind::Pool { kernel, .. } => out_elems * f64::from(kernel * kernel),
             LayerKind::GlobalPool => self.input.elements() as f64,
             LayerKind::Add | LayerKind::Concat => out_elems,

@@ -114,10 +114,7 @@ mod tests {
     fn lowered_kernel_has_launch_overhead_and_label() {
         let cfg = LoweringConfig::default();
         let k = cfg.lower(&conv(), 1, 1.0, 1.0);
-        assert_eq!(
-            k.launch_overhead,
-            Some(SimDuration::from_micros_f64(cfg.launch_overhead_us))
-        );
+        assert_eq!(k.launch_overhead, Some(SimDuration::from_micros_f64(cfg.launch_overhead_us)));
         assert_eq!(k.label.as_deref(), Some("conv"));
         assert!(k.validate().is_ok());
     }

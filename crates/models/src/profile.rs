@@ -147,12 +147,14 @@ impl ModelProfile {
 
     /// Host-to-device input bytes for a batch of `batch` samples.
     pub fn input_bytes(&self, batch: u32) -> u64 {
-        self.graph.layers.first().map(|l| l.input.bytes_f32()).unwrap_or(0) * u64::from(batch.max(1))
+        self.graph.layers.first().map(|l| l.input.bytes_f32()).unwrap_or(0)
+            * u64::from(batch.max(1))
     }
 
     /// Device-to-host output bytes for a batch of `batch` samples.
     pub fn output_bytes(&self, batch: u32) -> u64 {
-        self.graph.layers.last().map(|l| l.output.bytes_f32()).unwrap_or(0) * u64::from(batch.max(1))
+        self.graph.layers.last().map(|l| l.output.bytes_f32()).unwrap_or(0)
+            * u64::from(batch.max(1))
     }
 
     /// Kernels of stage `stage` for a batch of `batch` samples.
@@ -176,11 +178,7 @@ impl ModelProfile {
     /// Analytic isolated latency of stage `stage` at batch `batch`,
     /// in microseconds (kernels only, no copies).
     pub fn isolated_stage_latency_us(&self, stage: usize, batch: u32) -> f64 {
-        self.graph
-            .stage_layers(stage)
-            .iter()
-            .map(|l| self.layer_latency_us(l, batch))
-            .sum()
+        self.graph.stage_layers(stage).iter().map(|l| self.layer_latency_us(l, batch)).sum()
     }
 
     /// Analytic isolated end-to-end latency at batch `batch`, in
@@ -232,10 +230,8 @@ impl ModelProfile {
 
     fn layer_latency_us(&self, layer: &crate::Layer, batch: u32) -> f64 {
         let work = self.cfg.raw_work(layer, batch) * self.work_scale;
-        let par = self
-            .cfg
-            .scaled_parallelism(layer, batch, self.par_scale)
-            .min(f64::from(self.sm_count));
+        let par =
+            self.cfg.scaled_parallelism(layer, batch, self.par_scale).min(f64::from(self.sm_count));
         self.cfg.launch_overhead_us + work / par.max(1.0)
     }
 
@@ -243,17 +239,15 @@ impl ModelProfile {
     /// `1e6 / reference.min_jps` given the current `par_scale`.
     fn fit_work_scale(&mut self, reference: Table1Reference) {
         let target_us = 1e6 / reference.min_jps;
-        let fixed: f64 = self.graph.layers.len() as f64 * self.cfg.launch_overhead_us
-            + self.copy_time_us(1);
+        let fixed: f64 =
+            self.graph.layers.len() as f64 * self.cfg.launch_overhead_us + self.copy_time_us(1);
         let variable: f64 = self
             .graph
             .layers
             .iter()
             .map(|l| {
-                let par = self
-                    .cfg
-                    .scaled_parallelism(l, 1, self.par_scale)
-                    .min(f64::from(self.sm_count));
+                let par =
+                    self.cfg.scaled_parallelism(l, 1, self.par_scale).min(f64::from(self.sm_count));
                 self.cfg.raw_work(l, 1) / par.max(1.0)
             })
             .sum();

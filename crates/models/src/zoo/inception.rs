@@ -27,7 +27,8 @@ fn inception_a(
     let b3b = push_conv(layers, format!("{prefix}.b3x3dbl_2"), b3a, 96, 3, 1);
     let b3 = push_conv(layers, format!("{prefix}.b3x3dbl_3"), b3b, 96, 3, 1);
     // Branch 4: pool -> 1x1
-    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool =
+        Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
     let pool_out = pool.output;
     layers.push(pool);
     let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, pool_proj, 1, 1);
@@ -55,7 +56,8 @@ fn inception_b(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape, mid: u
     let b3d = push_conv(layers, format!("{prefix}.b7x7dbl_4"), b3c, mid, 3, 1);
     let b3 = push_conv(layers, format!("{prefix}.b7x7dbl_5"), b3d, 192, 3, 1);
     // Branch 4: pool -> 1x1
-    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool =
+        Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
     let pool_out = pool.output;
     layers.push(pool);
     let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, 192, 1, 1);
@@ -79,7 +81,8 @@ fn inception_c(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape) -> Ten
     let b3c = push_conv(layers, format!("{prefix}.b3x3dbl_3a"), b3b, 384, 3, 1);
     let b3d = push_conv(layers, format!("{prefix}.b3x3dbl_3b"), b3b, 384, 3, 1);
     // Branch 4: pool projection.
-    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
+    let pool =
+        Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 1 }, input);
     let pool_out = pool.output;
     layers.push(pool);
     let b4 = push_conv(layers, format!("{prefix}.pool_proj"), pool_out, 192, 1, 1);
@@ -92,12 +95,19 @@ fn inception_c(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape) -> Ten
 }
 
 /// Grid-size reduction block (stride-2 branches + pooling).
-fn reduction(layers: &mut Vec<Layer>, prefix: &str, input: TensorShape, out_a: u32, out_b: u32) -> TensorShape {
+fn reduction(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    input: TensorShape,
+    out_a: u32,
+    out_b: u32,
+) -> TensorShape {
     let b1 = push_conv(layers, format!("{prefix}.b3x3"), input, out_a, 3, 2);
     let b2a = push_conv(layers, format!("{prefix}.b3x3dbl_1"), input, out_b, 1, 1);
     let b2b = push_conv(layers, format!("{prefix}.b3x3dbl_2"), b2a, out_b, 3, 1);
     let b2 = push_conv(layers, format!("{prefix}.b3x3dbl_3"), b2b, out_b, 3, 2);
-    let pool = Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 2 }, input);
+    let pool =
+        Layer::new(format!("{prefix}.pool"), LayerKind::Pool { kernel: 3, stride: 2 }, input);
     let pool_out = pool.output;
     layers.push(pool);
     let out_channels = b1.channels + b2.channels + pool_out.channels;

@@ -109,7 +109,13 @@ pub fn resnet50() -> ModelGraph {
     for (stage_idx, (mid, blocks)) in plan.iter().enumerate() {
         for b in 0..*blocks {
             let stride = if stage_idx > 0 && b == 0 { 2 } else { 1 };
-            x = bottleneck_block(&mut layers, &format!("layer{}.{b}", stage_idx + 1), x, *mid, stride);
+            x = bottleneck_block(
+                &mut layers,
+                &format!("layer{}.{b}", stage_idx + 1),
+                x,
+                *mid,
+                stride,
+            );
         }
         if stage_idx == 3 {
             head(&mut layers, x, 2048);

@@ -47,11 +47,7 @@ pub fn unet() -> ModelGraph {
     }
     let end_stage1 = {
         // Stage 1 = enc1 + enc2 (layers up to and including enc2.pool).
-        layers
-            .iter()
-            .position(|l| l.name == "enc2.pool")
-            .expect("enc2.pool exists")
-            + 1
+        layers.iter().position(|l| l.name == "enc2.pool").expect("enc2.pool exists") + 1
     };
 
     // ---- Bottleneck ----
@@ -74,13 +70,8 @@ pub fn unet() -> ModelGraph {
         layers.push(cat);
         x = double_conv(&mut layers, &name, cat_out, ch);
     }
-    let end_stage3 = {
-        layers
-            .iter()
-            .position(|l| l.name == "dec3.conv2")
-            .expect("dec3.conv2 exists")
-            + 1
-    };
+    let end_stage3 =
+        { layers.iter().position(|l| l.name == "dec3.conv2").expect("dec3.conv2 exists") + 1 };
 
     // Final 1×1 segmentation head (binary mask as in the paper's medical
     // segmentation motivation).

@@ -1,8 +1,6 @@
 //! Job arrival generation.
 
-use daris_gpu::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use daris_gpu::{SimDuration, SimTime, XorShiftRng};
 
 use crate::{Job, TaskSet};
 
@@ -46,7 +44,7 @@ impl ArrivalPlan {
     /// before `horizon`, sorted by release time (ties broken by task id).
     pub fn generate(tasks: &TaskSet, horizon: SimTime, jitter: ReleaseJitter) -> Self {
         let mut rng = match jitter {
-            ReleaseJitter::Uniform { seed, .. } => Some(StdRng::seed_from_u64(seed)),
+            ReleaseJitter::Uniform { seed, .. } => Some(XorShiftRng::new(seed)),
             ReleaseJitter::None => None,
         };
         let mut jobs = Vec::new();
@@ -58,8 +56,8 @@ impl ArrivalPlan {
                     break;
                 }
                 if let (ReleaseJitter::Uniform { max, .. }, Some(rng)) = (jitter, rng.as_mut()) {
-                    let delay_us = rng.gen_range(0.0..max.as_micros_f64().max(1e-9));
-                    job.release = job.release + SimDuration::from_micros_f64(delay_us);
+                    let delay_us = rng.uniform(0.0, max.as_micros_f64().max(1e-9));
+                    job.release += SimDuration::from_micros_f64(delay_us);
                 }
                 jobs.push(job);
                 index += 1;

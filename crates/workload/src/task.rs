@@ -201,10 +201,7 @@ mod tests {
         let j0 = t.job(0);
         let j3 = t.job(3);
         assert_eq!(j0.release, SimTime::from_millis(5));
-        assert_eq!(
-            j3.release.duration_since(j0.release),
-            t.period * 3
-        );
+        assert_eq!(j3.release.duration_since(j0.release), t.period * 3);
         assert_eq!(j3.absolute_deadline, j3.release + t.period);
         assert_eq!(j3.id.release_index, 3);
         assert_eq!(j3.id.task, TaskId(3));

@@ -204,11 +204,7 @@ impl TaskSet {
 
     /// Offered load of one priority level in jobs per second.
     pub fn offered_jps_of(&self, priority: Priority) -> f64 {
-        self.tasks
-            .iter()
-            .filter(|t| t.priority == priority)
-            .map(TaskSpec::jobs_per_second)
-            .sum()
+        self.tasks.iter().filter(|t| t.priority == priority).map(TaskSpec::jobs_per_second).sum()
     }
 
     /// Distinct model kinds present in the set.

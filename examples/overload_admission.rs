@@ -29,10 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "LP rejected",
     ]);
 
-    for (scenario, name) in [
-        (RatioScenario::FullLoad, "Full load"),
-        (RatioScenario::Overload, "Overload"),
-    ] {
+    for (scenario, name) in
+        [(RatioScenario::FullLoad, "Full load"), (RatioScenario::Overload, "Overload")]
+    {
         for hp_share in [0.25, 0.5, 0.75, 1.0] {
             let taskset = TaskSet::with_ratio(DnnKind::ResNet18, scenario, hp_share);
             let mut scheduler = DarisScheduler::new(&taskset, DarisConfig::new(partition))?;

@@ -10,7 +10,21 @@ use daris::gpu::SimTime;
 use daris::models::{DnnKind, ModelProfile};
 use daris::workload::{Priority, TaskSet};
 
-fn run_daris(taskset: &TaskSet, partition: GpuPartition, millis: u64) -> daris::core::ExperimentOutcome {
+/// Each test picks the shortest horizon at which its claim holds
+/// deterministically; `DARIS_HORIZON_MS` caps them all for quick smoke runs
+/// (the claims below are robust down to ~200 ms).
+fn horizon_ms(default: u64) -> u64 {
+    match std::env::var("DARIS_HORIZON_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        Some(cap) => default.min(cap.max(50)),
+        None => default,
+    }
+}
+
+fn run_daris(
+    taskset: &TaskSet,
+    partition: GpuPartition,
+    millis: u64,
+) -> daris::core::ExperimentOutcome {
     let mut scheduler =
         DarisScheduler::new(taskset, DarisConfig::new(partition)).expect("valid configuration");
     scheduler.run_until(SimTime::from_millis(millis))
@@ -19,7 +33,7 @@ fn run_daris(taskset: &TaskSet, partition: GpuPartition, millis: u64) -> daris::
 #[test]
 fn daris_beats_the_single_tenant_lower_baseline() {
     let taskset = TaskSet::table2(DnnKind::ResNet18);
-    let horizon = 400;
+    let horizon = horizon_ms(400);
     let daris = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon);
     let single = SingleTenantServer::new()
         .run(&taskset, SimTime::from_millis(horizon))
@@ -37,6 +51,9 @@ fn daris_approaches_or_beats_the_batching_upper_baseline_for_resnet18() {
     // Headline claim: for ResNet18 DARIS exceeds the pure-batching upper
     // baseline without batching (paper: 1158 vs 1025 JPS, +13 %).
     let taskset = TaskSet::table2(DnnKind::ResNet18);
+    // MRET estimates need ~0.5 s of simulated warm-up before throughput
+    // reaches steady state, so this horizon deliberately ignores the
+    // `DARIS_HORIZON_MS` cap (at 200-400 ms DARIS sits at 0.94x the baseline).
     let daris = run_daris(&taskset, GpuPartition::mps(6, 6.0), 600);
     let upper = ModelProfile::calibrated(DnnKind::ResNet18).best_batched_jps().1;
     assert!(
@@ -53,8 +70,8 @@ fn oversubscription_improves_throughput_over_isolated_sms() {
     // oversubscription on ResNet50. The effect is most pronounced for UNet,
     // whose long copy phases leave isolated contexts idle.
     let taskset = TaskSet::table2(DnnKind::UNet);
-    let isolated = run_daris(&taskset, GpuPartition::mps(6, 1.0), 400);
-    let oversubscribed = run_daris(&taskset, GpuPartition::mps(6, 6.0), 400);
+    let isolated = run_daris(&taskset, GpuPartition::mps(6, 1.0), horizon_ms(400));
+    let oversubscribed = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon_ms(400));
     assert!(
         oversubscribed.summary.throughput_jps > 1.1 * isolated.summary.throughput_jps,
         "OS=6 {:.0} JPS vs OS=1 {:.0} JPS",
@@ -68,7 +85,7 @@ fn high_priority_tasks_do_not_miss_deadlines_in_the_main_scenario() {
     // The paper observed no HP deadline misses in its main experiments.
     for kind in [DnnKind::UNet, DnnKind::ResNet18] {
         let taskset = TaskSet::table2(kind);
-        let outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), 400);
+        let outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon_ms(400));
         assert!(
             outcome.summary.high.deadline_miss_rate < 0.02,
             "{kind}: HP DMR {:.3}",
@@ -83,10 +100,11 @@ fn str_policy_has_the_cleanest_low_priority_deadline_behaviour() {
     // Fig. 4–6 observation: STR trades throughput for (near-)zero LP DMR,
     // while MPS maximizes throughput.
     let taskset = TaskSet::table2(DnnKind::UNet);
-    let str_outcome = run_daris(&taskset, GpuPartition::str_streams(6), 400);
-    let mps_outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), 400);
+    let str_outcome = run_daris(&taskset, GpuPartition::str_streams(6), horizon_ms(400));
+    let mps_outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon_ms(400));
     assert!(
-        str_outcome.summary.low.deadline_miss_rate <= mps_outcome.summary.low.deadline_miss_rate + 0.01,
+        str_outcome.summary.low.deadline_miss_rate
+            <= mps_outcome.summary.low.deadline_miss_rate + 0.01,
         "STR LP DMR {:.3} should not exceed MPS LP DMR {:.3}",
         str_outcome.summary.low.deadline_miss_rate,
         mps_outcome.summary.low.deadline_miss_rate
@@ -102,7 +120,7 @@ fn str_policy_has_the_cleanest_low_priority_deadline_behaviour() {
 #[test]
 fn priorities_protect_hp_tasks_compared_with_fifo() {
     let taskset = TaskSet::table2(DnnKind::InceptionV3);
-    let horizon = 400;
+    let horizon = horizon_ms(400);
     let daris = run_daris(&taskset, GpuPartition::mps(8, 8.0), horizon);
     let fifo = FifoMultiStreamServer::new(8)
         .run(&taskset, SimTime::from_millis(horizon))
@@ -120,13 +138,13 @@ fn staging_ablation_hurts_throughput_and_hp_deadlines() {
     // Fig. 8: removing staging costs throughput and causes HP misses.
     let taskset = TaskSet::table2(DnnKind::ResNet18);
     let partition = GpuPartition::mps(6, 6.0);
-    let full = run_daris(&taskset, partition, 400);
+    let full = run_daris(&taskset, partition, horizon_ms(400));
     let mut no_staging_scheduler = DarisScheduler::new(
         &taskset,
         DarisConfig::new(partition).with_ablation(AblationFlags::no_staging()),
     )
     .expect("valid configuration");
-    let no_staging = no_staging_scheduler.run_until(SimTime::from_millis(400));
+    let no_staging = no_staging_scheduler.run_until(SimTime::from_millis(horizon_ms(400)));
     assert!(
         no_staging.summary.high.response.max_ms >= full.summary.high.response.max_ms,
         "without staging HP worst-case response should not improve ({:.1} vs {:.1} ms)",
@@ -145,7 +163,7 @@ fn staging_ablation_hurts_throughput_and_hp_deadlines() {
 fn hp_response_times_are_better_than_lp_response_times() {
     // Sec. VI-F: HP tasks finish roughly 2.5x faster than LP tasks.
     let taskset = TaskSet::table2(DnnKind::ResNet18);
-    let outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), 400);
+    let outcome = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon_ms(400));
     let hp = outcome.summary.high.response.mean_ms;
     let lp = outcome.summary.low.response.mean_ms;
     assert!(hp < lp, "HP mean response {hp:.1} ms should beat LP {lp:.1} ms");
@@ -160,9 +178,9 @@ fn batching_plus_daris_beats_the_upper_baseline_for_inception() {
     // baseline but batched DARIS gets close to it.
     let taskset = TaskSet::table2(DnnKind::InceptionV3);
     let upper = ModelProfile::calibrated(DnnKind::InceptionV3).best_batched_jps().1;
-    let unbatched = run_daris(&taskset, GpuPartition::mps(2, 2.0), 900);
+    let unbatched = run_daris(&taskset, GpuPartition::mps(2, 2.0), horizon_ms(900));
     let batched_set = taskset.with_paper_batch_sizes();
-    let batched = run_daris(&batched_set, GpuPartition::mps(2, 2.0), 900);
+    let batched = run_daris(&batched_set, GpuPartition::mps(2, 2.0), horizon_ms(900));
     assert!(
         batched.summary.throughput_jps > 1.2 * unbatched.summary.throughput_jps,
         "batched {:.0} vs unbatched {:.0}",
@@ -181,11 +199,10 @@ fn pure_batching_misses_deadlines_that_daris_avoids() {
     // The motivation of Sec. II-C: batching alone is not a real-time
     // scheduler.
     let taskset = TaskSet::table2(DnnKind::ResNet18);
-    let horizon = 400;
+    let horizon = horizon_ms(400);
     let daris = run_daris(&taskset, GpuPartition::mps(6, 6.0), horizon);
-    let batching = BatchingServer::new()
-        .run(&taskset, SimTime::from_millis(horizon))
-        .expect("baseline runs");
+    let batching =
+        BatchingServer::new().run(&taskset, SimTime::from_millis(horizon)).expect("baseline runs");
     assert!(
         daris.summary.high.deadline_miss_rate < batching.of(Priority::High).deadline_miss_rate,
         "DARIS HP DMR {:.3} vs batching HP DMR {:.3}",
@@ -199,7 +216,7 @@ fn facade_crate_re_exports_are_usable_together() {
     // A downstream user should be able to mix every sub-crate through the
     // `daris` facade: build a workload, run the scheduler, format a report.
     let taskset = TaskSet::mixed();
-    let outcome = run_daris(&taskset, GpuPartition::mps_str(3, 2, 2.0), 150);
+    let outcome = run_daris(&taskset, GpuPartition::mps_str(3, 2, 2.0), horizon_ms(150));
     let mut table = daris::metrics::report::Table::new("facade smoke test");
     table.set_headers(["metric", "value"]);
     table.add_row(["JPS".to_owned(), format!("{:.0}", outcome.summary.throughput_jps)]);

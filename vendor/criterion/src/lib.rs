@@ -1,0 +1,218 @@
+//! Minimal, dependency-free stand-in for the [`criterion`][upstream]
+//! benchmark harness.
+//!
+//! The workspace must build on machines with no access to crates.io, so this
+//! vendored stub implements exactly the API surface the `daris-bench` benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`]. Timing
+//! is measured with [`std::time::Instant`] and reported as a simple
+//! `name  ...  median` line per benchmark — enough to compare hot paths
+//! locally, not a statistics engine. Swap the `[workspace.dependencies]`
+//! entry back to the real crate when registry access is available; no source
+//! changes are needed.
+//!
+//! [upstream]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver. Collects configuration and runs closures, timing them.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration (the stub runs one untimed iteration
+    /// regardless, so this only bounds extra warm-up).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement-time budget for each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.clone(), _parent: self }
+    }
+
+    /// Runs a single benchmark function.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&name.into(), &config, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement-time budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, &self.config, &mut f);
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / iters as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, config: &Criterion, f: &mut F) {
+    // One untimed warm-up pass.
+    let mut warm = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    f(&mut warm);
+    let per_iter = warm.samples.first().copied().unwrap_or(Duration::from_micros(1));
+
+    // Pick an iteration count that fits the measurement budget.
+    let budget = config.measurement_time.max(Duration::from_millis(1));
+    let per_sample = budget / config.sample_size.max(1) as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: iters };
+    for _ in 0..config.sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    samples.sort_unstable();
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(per_iter);
+    println!(
+        "bench: {name:<60} median {median:>12.3?} ({} samples x {iters} iters)",
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring upstream's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function("inner", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}
