@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-57abb7c0e7024160.d: crates/models/tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-57abb7c0e7024160: crates/models/tests/calibration.rs
+
+crates/models/tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-6472cbb5ef31697d.d: crates/models/tests/calibration.rs
+
+/root/repo/target/debug/deps/libcalibration-6472cbb5ef31697d.rmeta: crates/models/tests/calibration.rs
+
+crates/models/tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-f62d5d31f740966a.d: crates/models/tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-f62d5d31f740966a.rmeta: crates/models/tests/calibration.rs Cargo.toml
+
+crates/models/tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-bdc7a8bee677ac98.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bdc7a8bee677ac98.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c3539f08682cf1d8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c3539f08682cf1d8.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c3539f08682cf1d8.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

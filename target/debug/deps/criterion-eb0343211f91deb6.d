@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-eb0343211f91deb6.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-eb0343211f91deb6.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris-33956ebfd09589f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdaris-33956ebfd09589f1.rmeta: src/lib.rs
+
+src/lib.rs:

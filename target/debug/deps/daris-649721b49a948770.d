@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daris-649721b49a948770.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdaris-649721b49a948770.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdaris-649721b49a948770.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris-6e01b3cbf27a62a9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris-6e01b3cbf27a62a9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris-8a7f94f83a3a7afe.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris-8a7f94f83a3a7afe.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris-a246a25d99753aa6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdaris-a246a25d99753aa6.rmeta: src/lib.rs
+
+src/lib.rs:

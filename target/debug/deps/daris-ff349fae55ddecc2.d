@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris-ff349fae55ddecc2.d: src/lib.rs
+
+/root/repo/target/debug/deps/daris-ff349fae55ddecc2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris_baselines-33fb4ed9d5b7adb8.d: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/debug/deps/libdaris_baselines-33fb4ed9d5b7adb8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/batching.rs:
+crates/baselines/src/fifo.rs:
+crates/baselines/src/gslice.rs:
+crates/baselines/src/single_tenant.rs:

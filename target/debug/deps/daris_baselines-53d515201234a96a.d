@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/daris_baselines-53d515201234a96a.d: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/debug/deps/libdaris_baselines-53d515201234a96a.rlib: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/debug/deps/libdaris_baselines-53d515201234a96a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/batching.rs:
+crates/baselines/src/fifo.rs:
+crates/baselines/src/gslice.rs:
+crates/baselines/src/single_tenant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris_baselines-d845d4d540627da1.d: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/debug/deps/libdaris_baselines-d845d4d540627da1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/batching.rs:
+crates/baselines/src/fifo.rs:
+crates/baselines/src/gslice.rs:
+crates/baselines/src/single_tenant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris_baselines-e52ef8fe52b16b29.d: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/debug/deps/daris_baselines-e52ef8fe52b16b29: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/batching.rs:
+crates/baselines/src/fifo.rs:
+crates/baselines/src/gslice.rs:
+crates/baselines/src/single_tenant.rs:

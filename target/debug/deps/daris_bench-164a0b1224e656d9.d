@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/daris_bench-164a0b1224e656d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdaris_bench-164a0b1224e656d9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdaris_bench-164a0b1224e656d9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris_bench-1b18f8b513b5e394.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_bench-1b18f8b513b5e394.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daris_bench-8dc58424dc713aea.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_bench-8dc58424dc713aea.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris_bench-a9758b4c7b20e5da.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/daris_bench-a9758b4c7b20e5da: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris_bench-da26c88b1c6b1650.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdaris_bench-da26c88b1c6b1650.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daris_bench-ef7400eeb92255ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdaris_bench-ef7400eeb92255ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

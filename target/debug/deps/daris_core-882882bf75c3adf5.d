@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/daris_core-882882bf75c3adf5.d: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_core-882882bf75c3adf5.rmeta: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/afet.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/mret.rs:
+crates/core/src/offline.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stage_queue.rs:
+crates/core/src/utilization.rs:
+crates/core/src/vdeadline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/daris_core-e21e23fcf32100eb.d: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+/root/repo/target/debug/deps/libdaris_core-e21e23fcf32100eb.rmeta: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/afet.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/mret.rs:
+crates/core/src/offline.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stage_queue.rs:
+crates/core/src/utilization.rs:
+crates/core/src/vdeadline.rs:

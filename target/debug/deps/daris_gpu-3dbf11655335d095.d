@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/daris_gpu-3dbf11655335d095.d: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs
+
+/root/repo/target/debug/deps/libdaris_gpu-3dbf11655335d095.rmeta: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/context.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/rng.rs:
+crates/gpu/src/spec.rs:
+crates/gpu/src/stream.rs:
+crates/gpu/src/time.rs:
+crates/gpu/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/daris_gpu-61256b77ad2246c2.d: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_gpu-61256b77ad2246c2.rmeta: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/context.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/rng.rs:
+crates/gpu/src/spec.rs:
+crates/gpu/src/stream.rs:
+crates/gpu/src/time.rs:
+crates/gpu/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/daris_metrics-2cf0b00234e1ce49.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libdaris_metrics-2cf0b00234e1ce49.rlib: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libdaris_metrics-2cf0b00234e1ce49.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:

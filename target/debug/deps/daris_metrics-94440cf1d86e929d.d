@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/daris_metrics-94440cf1d86e929d.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_metrics-94440cf1d86e929d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daris_metrics-ebaf003f2257f80d.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/debug/deps/libdaris_metrics-ebaf003f2257f80d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:

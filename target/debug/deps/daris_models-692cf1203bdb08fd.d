@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/daris_models-692cf1203bdb08fd.d: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_models-692cf1203bdb08fd.rmeta: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/graph.rs:
+crates/models/src/layer.rs:
+crates/models/src/lowering.rs:
+crates/models/src/profile.rs:
+crates/models/src/shape.rs:
+crates/models/src/zoo/mod.rs:
+crates/models/src/zoo/inception.rs:
+crates/models/src/zoo/resnet.rs:
+crates/models/src/zoo/unet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

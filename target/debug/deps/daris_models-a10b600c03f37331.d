@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/daris_models-a10b600c03f37331.d: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs
+
+/root/repo/target/debug/deps/daris_models-a10b600c03f37331: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/graph.rs:
+crates/models/src/layer.rs:
+crates/models/src/lowering.rs:
+crates/models/src/profile.rs:
+crates/models/src/shape.rs:
+crates/models/src/zoo/mod.rs:
+crates/models/src/zoo/inception.rs:
+crates/models/src/zoo/resnet.rs:
+crates/models/src/zoo/unet.rs:

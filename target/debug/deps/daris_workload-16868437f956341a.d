@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/daris_workload-16868437f956341a.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/debug/deps/libdaris_workload-16868437f956341a.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/debug/deps/libdaris_workload-16868437f956341a.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daris_workload-5118e396a0a55f7d.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/debug/deps/daris_workload-5118e396a0a55f7d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:

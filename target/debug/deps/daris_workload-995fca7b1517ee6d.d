@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daris_workload-995fca7b1517ee6d.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/debug/deps/libdaris_workload-995fca7b1517ee6d.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:

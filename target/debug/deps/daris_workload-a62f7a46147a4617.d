@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/daris_workload-a62f7a46147a4617.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaris_workload-a62f7a46147a4617.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/daris_workload-b9e2a575f429a871.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/debug/deps/libdaris_workload-b9e2a575f429a871.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_batching-1fd075eb7f7f0b19.d: crates/bench/src/bin/fig10_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_batching-1fd075eb7f7f0b19.rmeta: crates/bench/src/bin/fig10_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig10_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

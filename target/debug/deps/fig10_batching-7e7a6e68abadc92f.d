@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_batching-7e7a6e68abadc92f.d: crates/bench/src/bin/fig10_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_batching-7e7a6e68abadc92f.rmeta: crates/bench/src/bin/fig10_batching.rs Cargo.toml
+
+crates/bench/src/bin/fig10_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

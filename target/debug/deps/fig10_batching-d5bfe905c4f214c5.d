@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_batching-d5bfe905c4f214c5.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/debug/deps/libfig10_batching-d5bfe905c4f214c5.rmeta: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

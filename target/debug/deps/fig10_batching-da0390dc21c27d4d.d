@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_batching-da0390dc21c27d4d.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/debug/deps/fig10_batching-da0390dc21c27d4d: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_batching-ef243cc1fed6984a.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/debug/deps/libfig10_batching-ef243cc1fed6984a.rmeta: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

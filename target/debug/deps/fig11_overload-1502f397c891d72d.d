@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_overload-1502f397c891d72d.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/debug/deps/libfig11_overload-1502f397c891d72d.rmeta: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

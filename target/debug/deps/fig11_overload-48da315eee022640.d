@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_overload-48da315eee022640.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/debug/deps/fig11_overload-48da315eee022640: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

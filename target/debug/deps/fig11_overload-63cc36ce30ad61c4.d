@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overload-63cc36ce30ad61c4.d: crates/bench/src/bin/fig11_overload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overload-63cc36ce30ad61c4.rmeta: crates/bench/src/bin/fig11_overload.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_overload-af2f27a6bee59b85.d: crates/bench/src/bin/fig11_overload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_overload-af2f27a6bee59b85.rmeta: crates/bench/src/bin/fig11_overload.rs Cargo.toml
+
+crates/bench/src/bin/fig11_overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

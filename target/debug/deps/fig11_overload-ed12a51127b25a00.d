@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_overload-ed12a51127b25a00.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/debug/deps/libfig11_overload-ed12a51127b25a00.rmeta: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_resnet18-0a8f63a39eb32bd4.d: crates/bench/src/bin/fig4_resnet18.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_resnet18-0a8f63a39eb32bd4.rmeta: crates/bench/src/bin/fig4_resnet18.rs Cargo.toml
+
+crates/bench/src/bin/fig4_resnet18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

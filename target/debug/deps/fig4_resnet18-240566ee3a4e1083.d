@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_resnet18-240566ee3a4e1083.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/debug/deps/libfig4_resnet18-240566ee3a4e1083.rmeta: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

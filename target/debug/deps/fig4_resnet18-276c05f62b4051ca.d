@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_resnet18-276c05f62b4051ca.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/debug/deps/libfig4_resnet18-276c05f62b4051ca.rmeta: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

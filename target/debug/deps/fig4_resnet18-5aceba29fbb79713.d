@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_resnet18-5aceba29fbb79713.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/debug/deps/fig4_resnet18-5aceba29fbb79713: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_unet-765cd23b3820e34f.d: crates/bench/src/bin/fig5_unet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_unet-765cd23b3820e34f.rmeta: crates/bench/src/bin/fig5_unet.rs Cargo.toml
+
+crates/bench/src/bin/fig5_unet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_unet-9df5a592104a7374.d: crates/bench/src/bin/fig5_unet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_unet-9df5a592104a7374.rmeta: crates/bench/src/bin/fig5_unet.rs Cargo.toml
+
+crates/bench/src/bin/fig5_unet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

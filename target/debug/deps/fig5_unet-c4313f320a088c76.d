@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_unet-c4313f320a088c76.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/debug/deps/libfig5_unet-c4313f320a088c76.rmeta: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_unet-c74234ddd60c1a30.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/debug/deps/fig5_unet-c74234ddd60c1a30: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_unet-d739e28e18863ae7.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/debug/deps/libfig5_unet-d739e28e18863ae7.rmeta: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_inception-080979ead4136f80.d: crates/bench/src/bin/fig6_inception.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_inception-080979ead4136f80.rmeta: crates/bench/src/bin/fig6_inception.rs Cargo.toml
+
+crates/bench/src/bin/fig6_inception.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_inception-3bbad0a804da3778.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/debug/deps/libfig6_inception-3bbad0a804da3778.rmeta: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

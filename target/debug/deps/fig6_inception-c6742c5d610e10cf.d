@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_inception-c6742c5d610e10cf.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/debug/deps/fig6_inception-c6742c5d610e10cf: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

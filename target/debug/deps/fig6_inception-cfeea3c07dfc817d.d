@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_inception-cfeea3c07dfc817d.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/debug/deps/libfig6_inception-cfeea3c07dfc817d.rmeta: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

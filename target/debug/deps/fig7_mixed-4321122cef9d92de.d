@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mixed-4321122cef9d92de.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/debug/deps/libfig7_mixed-4321122cef9d92de.rmeta: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mixed-461318059b931672.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/debug/deps/fig7_mixed-461318059b931672: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mixed-c80c16953a182320.d: crates/bench/src/bin/fig7_mixed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mixed-c80c16953a182320.rmeta: crates/bench/src/bin/fig7_mixed.rs Cargo.toml
+
+crates/bench/src/bin/fig7_mixed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

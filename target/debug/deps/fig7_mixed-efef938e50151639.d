@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mixed-efef938e50151639.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/debug/deps/libfig7_mixed-efef938e50151639.rmeta: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-0b39f487255f7089.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/libfig8_ablation-0b39f487255f7089.rmeta: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_ablation-496b5c3110eec16d.d: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_ablation-496b5c3110eec16d.rmeta: crates/bench/src/bin/fig8_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig8_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

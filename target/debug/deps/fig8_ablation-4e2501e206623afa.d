@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-4e2501e206623afa.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/libfig8_ablation-4e2501e206623afa.rmeta: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_ablation-eaeaf4a7ebbd300e.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/debug/deps/fig8_ablation-eaeaf4a7ebbd300e: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

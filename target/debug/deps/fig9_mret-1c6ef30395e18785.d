@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_mret-1c6ef30395e18785.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/debug/deps/fig9_mret-1c6ef30395e18785: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

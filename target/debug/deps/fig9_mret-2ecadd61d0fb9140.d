@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_mret-2ecadd61d0fb9140.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/debug/deps/libfig9_mret-2ecadd61d0fb9140.rmeta: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

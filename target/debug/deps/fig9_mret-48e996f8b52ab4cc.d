@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_mret-48e996f8b52ab4cc.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/debug/deps/libfig9_mret-48e996f8b52ab4cc.rmeta: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

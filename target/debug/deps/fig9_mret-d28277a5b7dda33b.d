@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_mret-d28277a5b7dda33b.d: crates/bench/src/bin/fig9_mret.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_mret-d28277a5b7dda33b.rmeta: crates/bench/src/bin/fig9_mret.rs Cargo.toml
+
+crates/bench/src/bin/fig9_mret.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gslice_comparison-7e6d22ad709a033a.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/debug/deps/libgslice_comparison-7e6d22ad709a033a.rmeta: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gslice_comparison-b206e2b741168cc4.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/debug/deps/libgslice_comparison-b206e2b741168cc4.rmeta: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

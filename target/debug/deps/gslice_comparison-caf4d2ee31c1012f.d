@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gslice_comparison-caf4d2ee31c1012f.d: crates/bench/src/bin/gslice_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgslice_comparison-caf4d2ee31c1012f.rmeta: crates/bench/src/bin/gslice_comparison.rs Cargo.toml
+
+crates/bench/src/bin/gslice_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

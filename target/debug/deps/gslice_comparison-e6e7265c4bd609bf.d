@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gslice_comparison-e6e7265c4bd609bf.d: crates/bench/src/bin/gslice_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgslice_comparison-e6e7265c4bd609bf.rmeta: crates/bench/src/bin/gslice_comparison.rs Cargo.toml
+
+crates/bench/src/bin/gslice_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gslice_comparison-f56369ebdcfc496c.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/debug/deps/gslice_comparison-f56369ebdcfc496c: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-4c83a836d753fa88.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-4c83a836d753fa88.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-7240f1cf20776cb0.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-7240f1cf20776cb0: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-b85f1b43e2aac77d.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-b85f1b43e2aac77d.rmeta: tests/integration.rs
+
+tests/integration.rs:

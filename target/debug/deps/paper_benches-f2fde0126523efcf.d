@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_benches-f2fde0126523efcf.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/debug/deps/libpaper_benches-f2fde0126523efcf.rmeta: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

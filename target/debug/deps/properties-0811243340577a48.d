@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0811243340577a48.d: crates/gpu/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-0811243340577a48.rmeta: crates/gpu/tests/properties.rs
+
+crates/gpu/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7826d02fbcb12fe2.d: crates/gpu/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7826d02fbcb12fe2: crates/gpu/tests/properties.rs
+
+crates/gpu/tests/properties.rs:

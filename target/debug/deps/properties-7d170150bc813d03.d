@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7d170150bc813d03.d: crates/gpu/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7d170150bc813d03.rmeta: crates/gpu/tests/properties.rs Cargo.toml
+
+crates/gpu/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

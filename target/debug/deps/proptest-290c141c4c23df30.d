@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-290c141c4c23df30.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-290c141c4c23df30.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6df94fb4ceebfe44.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6df94fb4ceebfe44.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6df94fb4ceebfe44.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

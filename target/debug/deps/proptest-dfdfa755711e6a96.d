@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-dfdfa755711e6a96.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-dfdfa755711e6a96: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

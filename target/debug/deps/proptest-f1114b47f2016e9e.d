@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f1114b47f2016e9e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f1114b47f2016e9e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-6b42ae57ba9c9897.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/libreproduce_all-6b42ae57ba9c9897.rmeta: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_all-770bd679bcc9fad5.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_all-770bd679bcc9fad5.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-774dc366861f6fa2.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/reproduce_all-774dc366861f6fa2: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce_all-a460267d4ae6c0a0.d: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_all-a460267d4ae6c0a0.rmeta: crates/bench/src/bin/reproduce_all.rs Cargo.toml
+
+crates/bench/src/bin/reproduce_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce_all-b6ceb663c40a07d8.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/debug/deps/libreproduce_all-b6ceb663c40a07d8.rmeta: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_overhead-07ad0ffb7a179184.d: crates/bench/benches/scheduler_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_overhead-07ad0ffb7a179184.rmeta: crates/bench/benches/scheduler_overhead.rs Cargo.toml
+
+crates/bench/benches/scheduler_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_overhead-1f436af8fa2d231a.d: crates/bench/benches/scheduler_overhead.rs
+
+/root/repo/target/debug/deps/libscheduler_overhead-1f436af8fa2d231a.rmeta: crates/bench/benches/scheduler_overhead.rs
+
+crates/bench/benches/scheduler_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_batching-0befdebdc8a9456f.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/debug/deps/libtable1_batching-0befdebdc8a9456f.rmeta: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

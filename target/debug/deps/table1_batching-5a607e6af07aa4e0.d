@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_batching-5a607e6af07aa4e0.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/debug/deps/libtable1_batching-5a607e6af07aa4e0.rmeta: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_batching-7474127cb9705d79.d: crates/bench/src/bin/table1_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_batching-7474127cb9705d79.rmeta: crates/bench/src/bin/table1_batching.rs Cargo.toml
+
+crates/bench/src/bin/table1_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_batching-aa006ba259afae37.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/debug/deps/table1_batching-aa006ba259afae37: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_batching-e6f96515c1dfc2bf.d: crates/bench/src/bin/table1_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_batching-e6f96515c1dfc2bf.rmeta: crates/bench/src/bin/table1_batching.rs Cargo.toml
+
+crates/bench/src/bin/table1_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

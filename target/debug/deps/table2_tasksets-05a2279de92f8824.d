@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_tasksets-05a2279de92f8824.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/debug/deps/libtable2_tasksets-05a2279de92f8824.rmeta: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

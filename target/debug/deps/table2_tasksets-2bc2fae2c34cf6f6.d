@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_tasksets-2bc2fae2c34cf6f6.d: crates/bench/src/bin/table2_tasksets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_tasksets-2bc2fae2c34cf6f6.rmeta: crates/bench/src/bin/table2_tasksets.rs Cargo.toml
+
+crates/bench/src/bin/table2_tasksets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

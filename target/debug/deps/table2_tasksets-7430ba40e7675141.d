@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_tasksets-7430ba40e7675141.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/debug/deps/libtable2_tasksets-7430ba40e7675141.rmeta: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_tasksets-d0c99d268b1d0036.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/debug/deps/table2_tasksets-d0c99d268b1d0036: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

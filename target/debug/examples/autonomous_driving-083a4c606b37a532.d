@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autonomous_driving-083a4c606b37a532.d: examples/autonomous_driving.rs
+
+/root/repo/target/debug/examples/libautonomous_driving-083a4c606b37a532.rmeta: examples/autonomous_driving.rs
+
+examples/autonomous_driving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autonomous_driving-2246586341f283ca.d: examples/autonomous_driving.rs
+
+/root/repo/target/debug/examples/autonomous_driving-2246586341f283ca: examples/autonomous_driving.rs
+
+examples/autonomous_driving.rs:

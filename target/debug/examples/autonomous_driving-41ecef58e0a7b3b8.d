@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autonomous_driving-41ecef58e0a7b3b8.d: examples/autonomous_driving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautonomous_driving-41ecef58e0a7b3b8.rmeta: examples/autonomous_driving.rs Cargo.toml
+
+examples/autonomous_driving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

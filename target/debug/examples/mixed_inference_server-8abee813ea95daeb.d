@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_inference_server-8abee813ea95daeb.d: examples/mixed_inference_server.rs
+
+/root/repo/target/debug/examples/mixed_inference_server-8abee813ea95daeb: examples/mixed_inference_server.rs
+
+examples/mixed_inference_server.rs:

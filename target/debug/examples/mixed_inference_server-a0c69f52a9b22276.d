@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_inference_server-a0c69f52a9b22276.d: examples/mixed_inference_server.rs
+
+/root/repo/target/debug/examples/libmixed_inference_server-a0c69f52a9b22276.rmeta: examples/mixed_inference_server.rs
+
+examples/mixed_inference_server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mixed_inference_server-e7749fa61ab3b2d1.d: examples/mixed_inference_server.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmixed_inference_server-e7749fa61ab3b2d1.rmeta: examples/mixed_inference_server.rs Cargo.toml
+
+examples/mixed_inference_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

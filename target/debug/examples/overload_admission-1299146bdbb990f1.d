@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_admission-1299146bdbb990f1.d: examples/overload_admission.rs
+
+/root/repo/target/debug/examples/overload_admission-1299146bdbb990f1: examples/overload_admission.rs
+
+examples/overload_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_admission-40dcb1875afca2a1.d: examples/overload_admission.rs
+
+/root/repo/target/debug/examples/liboverload_admission-40dcb1875afca2a1.rmeta: examples/overload_admission.rs
+
+examples/overload_admission.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overload_admission-9a1b2201b76b6cc1.d: examples/overload_admission.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverload_admission-9a1b2201b76b6cc1.rmeta: examples/overload_admission.rs Cargo.toml
+
+examples/overload_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-52f3b669953eb5f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-52f3b669953eb5f5.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

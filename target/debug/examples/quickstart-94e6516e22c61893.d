@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-94e6516e22c61893.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-94e6516e22c61893: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-1273b74fc86e0ffa.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1273b74fc86e0ffa.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-1273b74fc86e0ffa.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-52592e33c80d0e57.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52592e33c80d0e57.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-52592e33c80d0e57.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

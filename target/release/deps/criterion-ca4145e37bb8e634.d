@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-ca4145e37bb8e634.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-ca4145e37bb8e634: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

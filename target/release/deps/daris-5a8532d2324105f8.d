@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daris-5a8532d2324105f8.d: src/lib.rs
+
+/root/repo/target/release/deps/libdaris-5a8532d2324105f8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdaris-5a8532d2324105f8.rmeta: src/lib.rs
+
+src/lib.rs:

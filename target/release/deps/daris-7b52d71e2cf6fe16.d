@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daris-7b52d71e2cf6fe16.d: src/lib.rs
+
+/root/repo/target/release/deps/daris-7b52d71e2cf6fe16: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/daris_baselines-3426198bad0f2d40.d: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+/root/repo/target/release/deps/daris_baselines-3426198bad0f2d40: crates/baselines/src/lib.rs crates/baselines/src/batching.rs crates/baselines/src/fifo.rs crates/baselines/src/gslice.rs crates/baselines/src/single_tenant.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/batching.rs:
+crates/baselines/src/fifo.rs:
+crates/baselines/src/gslice.rs:
+crates/baselines/src/single_tenant.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daris_bench-4998aba3c002e18f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdaris_bench-4998aba3c002e18f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdaris_bench-4998aba3c002e18f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

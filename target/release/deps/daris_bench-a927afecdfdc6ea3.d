@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/daris_bench-a927afecdfdc6ea3.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdaris_bench-a927afecdfdc6ea3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdaris_bench-a927afecdfdc6ea3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daris_bench-e2e88bce2aeb0297.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/daris_bench-e2e88bce2aeb0297: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

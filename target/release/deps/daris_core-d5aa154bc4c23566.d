@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/daris_core-d5aa154bc4c23566.d: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+/root/repo/target/release/deps/libdaris_core-d5aa154bc4c23566.rlib: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+/root/repo/target/release/deps/libdaris_core-d5aa154bc4c23566.rmeta: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/afet.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/mret.rs:
+crates/core/src/offline.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stage_queue.rs:
+crates/core/src/utilization.rs:
+crates/core/src/vdeadline.rs:

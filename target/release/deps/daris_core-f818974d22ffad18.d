@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/daris_core-f818974d22ffad18.d: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+/root/repo/target/release/deps/daris_core-f818974d22ffad18: crates/core/src/lib.rs crates/core/src/afet.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/mret.rs crates/core/src/offline.rs crates/core/src/scheduler.rs crates/core/src/stage_queue.rs crates/core/src/utilization.rs crates/core/src/vdeadline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/afet.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/mret.rs:
+crates/core/src/offline.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/stage_queue.rs:
+crates/core/src/utilization.rs:
+crates/core/src/vdeadline.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/daris_gpu-ccb51ca5ad3d4c99.d: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs
+
+/root/repo/target/release/deps/libdaris_gpu-ccb51ca5ad3d4c99.rlib: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs
+
+/root/repo/target/release/deps/libdaris_gpu-ccb51ca5ad3d4c99.rmeta: crates/gpu/src/lib.rs crates/gpu/src/context.rs crates/gpu/src/engine.rs crates/gpu/src/error.rs crates/gpu/src/kernel.rs crates/gpu/src/memory.rs crates/gpu/src/rng.rs crates/gpu/src/spec.rs crates/gpu/src/stream.rs crates/gpu/src/time.rs crates/gpu/src/trace.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/context.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/error.rs:
+crates/gpu/src/kernel.rs:
+crates/gpu/src/memory.rs:
+crates/gpu/src/rng.rs:
+crates/gpu/src/spec.rs:
+crates/gpu/src/stream.rs:
+crates/gpu/src/time.rs:
+crates/gpu/src/trace.rs:

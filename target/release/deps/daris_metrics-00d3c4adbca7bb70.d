@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/daris_metrics-00d3c4adbca7bb70.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libdaris_metrics-00d3c4adbca7bb70.rlib: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libdaris_metrics-00d3c4adbca7bb70.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:

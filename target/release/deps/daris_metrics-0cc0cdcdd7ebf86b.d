@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/daris_metrics-0cc0cdcdd7ebf86b.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libdaris_metrics-0cc0cdcdd7ebf86b.rlib: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/libdaris_metrics-0cc0cdcdd7ebf86b.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:

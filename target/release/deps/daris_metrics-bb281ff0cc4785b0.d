@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/daris_metrics-bb281ff0cc4785b0.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+/root/repo/target/release/deps/daris_metrics-bb281ff0cc4785b0: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/report.rs crates/metrics/src/stats.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/stats.rs:

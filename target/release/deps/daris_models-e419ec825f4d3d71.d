@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/daris_models-e419ec825f4d3d71.d: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs
+
+/root/repo/target/release/deps/daris_models-e419ec825f4d3d71: crates/models/src/lib.rs crates/models/src/graph.rs crates/models/src/layer.rs crates/models/src/lowering.rs crates/models/src/profile.rs crates/models/src/shape.rs crates/models/src/zoo/mod.rs crates/models/src/zoo/inception.rs crates/models/src/zoo/resnet.rs crates/models/src/zoo/unet.rs
+
+crates/models/src/lib.rs:
+crates/models/src/graph.rs:
+crates/models/src/layer.rs:
+crates/models/src/lowering.rs:
+crates/models/src/profile.rs:
+crates/models/src/shape.rs:
+crates/models/src/zoo/mod.rs:
+crates/models/src/zoo/inception.rs:
+crates/models/src/zoo/resnet.rs:
+crates/models/src/zoo/unet.rs:

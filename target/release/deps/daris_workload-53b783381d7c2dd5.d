@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/daris_workload-53b783381d7c2dd5.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/release/deps/libdaris_workload-53b783381d7c2dd5.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+/root/repo/target/release/deps/libdaris_workload-53b783381d7c2dd5.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/task.rs crates/workload/src/taskset.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/task.rs:
+crates/workload/src/taskset.rs:

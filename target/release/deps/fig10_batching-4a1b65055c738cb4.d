@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_batching-4a1b65055c738cb4.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/release/deps/fig10_batching-4a1b65055c738cb4: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_batching-d582cbe68d249a98.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/release/deps/fig10_batching-d582cbe68d249a98: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_batching-ff92511e6e4ffda5.d: crates/bench/src/bin/fig10_batching.rs
+
+/root/repo/target/release/deps/fig10_batching-ff92511e6e4ffda5: crates/bench/src/bin/fig10_batching.rs
+
+crates/bench/src/bin/fig10_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overload-54833adb1926437e.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/release/deps/fig11_overload-54833adb1926437e: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overload-94b0d3c7923ffe75.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/release/deps/fig11_overload-94b0d3c7923ffe75: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

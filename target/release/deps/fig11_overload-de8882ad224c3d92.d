@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_overload-de8882ad224c3d92.d: crates/bench/src/bin/fig11_overload.rs
+
+/root/repo/target/release/deps/fig11_overload-de8882ad224c3d92: crates/bench/src/bin/fig11_overload.rs
+
+crates/bench/src/bin/fig11_overload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_resnet18-5e0af15c09aa015a.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/release/deps/fig4_resnet18-5e0af15c09aa015a: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_resnet18-837023753496593e.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/release/deps/fig4_resnet18-837023753496593e: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

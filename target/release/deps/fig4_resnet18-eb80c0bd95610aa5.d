@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_resnet18-eb80c0bd95610aa5.d: crates/bench/src/bin/fig4_resnet18.rs
+
+/root/repo/target/release/deps/fig4_resnet18-eb80c0bd95610aa5: crates/bench/src/bin/fig4_resnet18.rs
+
+crates/bench/src/bin/fig4_resnet18.rs:

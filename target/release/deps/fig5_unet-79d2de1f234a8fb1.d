@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_unet-79d2de1f234a8fb1.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/release/deps/fig5_unet-79d2de1f234a8fb1: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_unet-c1108ad059dadfdc.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/release/deps/fig5_unet-c1108ad059dadfdc: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_unet-e9297980c9bc2a04.d: crates/bench/src/bin/fig5_unet.rs
+
+/root/repo/target/release/deps/fig5_unet-e9297980c9bc2a04: crates/bench/src/bin/fig5_unet.rs
+
+crates/bench/src/bin/fig5_unet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_inception-8497608678574c6d.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/release/deps/fig6_inception-8497608678574c6d: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_inception-a94bf1e195b5efe8.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/release/deps/fig6_inception-a94bf1e195b5efe8: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

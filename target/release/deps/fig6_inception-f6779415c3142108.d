@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_inception-f6779415c3142108.d: crates/bench/src/bin/fig6_inception.rs
+
+/root/repo/target/release/deps/fig6_inception-f6779415c3142108: crates/bench/src/bin/fig6_inception.rs
+
+crates/bench/src/bin/fig6_inception.rs:

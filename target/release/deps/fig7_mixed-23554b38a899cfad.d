@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mixed-23554b38a899cfad.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/release/deps/fig7_mixed-23554b38a899cfad: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mixed-781428ea1b14f627.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/release/deps/fig7_mixed-781428ea1b14f627: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mixed-eecf4f287e1bb2b1.d: crates/bench/src/bin/fig7_mixed.rs
+
+/root/repo/target/release/deps/fig7_mixed-eecf4f287e1bb2b1: crates/bench/src/bin/fig7_mixed.rs
+
+crates/bench/src/bin/fig7_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ablation-00b6f02521c2a8be.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/release/deps/fig8_ablation-00b6f02521c2a8be: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ablation-23809524327ae081.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/release/deps/fig8_ablation-23809524327ae081: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

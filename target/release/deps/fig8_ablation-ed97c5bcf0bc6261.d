@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_ablation-ed97c5bcf0bc6261.d: crates/bench/src/bin/fig8_ablation.rs
+
+/root/repo/target/release/deps/fig8_ablation-ed97c5bcf0bc6261: crates/bench/src/bin/fig8_ablation.rs
+
+crates/bench/src/bin/fig8_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_mret-0b6cc3df109ee477.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/release/deps/fig9_mret-0b6cc3df109ee477: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_mret-edcebe3096eda103.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/release/deps/fig9_mret-edcebe3096eda103: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

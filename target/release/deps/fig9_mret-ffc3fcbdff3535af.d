@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_mret-ffc3fcbdff3535af.d: crates/bench/src/bin/fig9_mret.rs
+
+/root/repo/target/release/deps/fig9_mret-ffc3fcbdff3535af: crates/bench/src/bin/fig9_mret.rs
+
+crates/bench/src/bin/fig9_mret.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gslice_comparison-2246dbd7aafdfdc6.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/release/deps/gslice_comparison-2246dbd7aafdfdc6: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gslice_comparison-4a3dd79267093043.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/release/deps/gslice_comparison-4a3dd79267093043: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gslice_comparison-90e59058899e2711.d: crates/bench/src/bin/gslice_comparison.rs
+
+/root/repo/target/release/deps/gslice_comparison-90e59058899e2711: crates/bench/src/bin/gslice_comparison.rs
+
+crates/bench/src/bin/gslice_comparison.rs:

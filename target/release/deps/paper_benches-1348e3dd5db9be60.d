@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_benches-1348e3dd5db9be60.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/release/deps/paper_benches-1348e3dd5db9be60: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

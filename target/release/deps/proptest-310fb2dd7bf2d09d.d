@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-310fb2dd7bf2d09d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-310fb2dd7bf2d09d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-310fb2dd7bf2d09d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

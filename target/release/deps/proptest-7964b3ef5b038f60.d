@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7964b3ef5b038f60.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7964b3ef5b038f60.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7964b3ef5b038f60.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-c061729854c4cb18.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-c061729854c4cb18: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

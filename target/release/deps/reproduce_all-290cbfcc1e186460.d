@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-290cbfcc1e186460.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-290cbfcc1e186460: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-9a6f6241f2f009ad.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-9a6f6241f2f009ad: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

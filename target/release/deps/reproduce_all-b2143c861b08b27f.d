@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce_all-b2143c861b08b27f.d: crates/bench/src/bin/reproduce_all.rs
+
+/root/repo/target/release/deps/reproduce_all-b2143c861b08b27f: crates/bench/src/bin/reproduce_all.rs
+
+crates/bench/src/bin/reproduce_all.rs:

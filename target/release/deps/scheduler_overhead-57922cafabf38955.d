@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduler_overhead-57922cafabf38955.d: crates/bench/benches/scheduler_overhead.rs
+
+/root/repo/target/release/deps/scheduler_overhead-57922cafabf38955: crates/bench/benches/scheduler_overhead.rs
+
+crates/bench/benches/scheduler_overhead.rs:

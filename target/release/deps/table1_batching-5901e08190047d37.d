@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_batching-5901e08190047d37.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/release/deps/table1_batching-5901e08190047d37: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_batching-bb94eea6409dfcc3.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/release/deps/table1_batching-bb94eea6409dfcc3: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

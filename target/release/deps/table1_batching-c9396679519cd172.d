@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_batching-c9396679519cd172.d: crates/bench/src/bin/table1_batching.rs
+
+/root/repo/target/release/deps/table1_batching-c9396679519cd172: crates/bench/src/bin/table1_batching.rs
+
+crates/bench/src/bin/table1_batching.rs:

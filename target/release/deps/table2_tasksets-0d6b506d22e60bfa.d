@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_tasksets-0d6b506d22e60bfa.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/release/deps/table2_tasksets-0d6b506d22e60bfa: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

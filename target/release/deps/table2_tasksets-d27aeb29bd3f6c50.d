@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_tasksets-d27aeb29bd3f6c50.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/release/deps/table2_tasksets-d27aeb29bd3f6c50: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_tasksets-f0056210f6c978c7.d: crates/bench/src/bin/table2_tasksets.rs
+
+/root/repo/target/release/deps/table2_tasksets-f0056210f6c978c7: crates/bench/src/bin/table2_tasksets.rs
+
+crates/bench/src/bin/table2_tasksets.rs:

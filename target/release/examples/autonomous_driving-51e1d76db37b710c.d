@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autonomous_driving-51e1d76db37b710c.d: examples/autonomous_driving.rs
+
+/root/repo/target/release/examples/autonomous_driving-51e1d76db37b710c: examples/autonomous_driving.rs
+
+examples/autonomous_driving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mixed_inference_server-2dc559b14424dc3a.d: examples/mixed_inference_server.rs
+
+/root/repo/target/release/examples/mixed_inference_server-2dc559b14424dc3a: examples/mixed_inference_server.rs
+
+examples/mixed_inference_server.rs:

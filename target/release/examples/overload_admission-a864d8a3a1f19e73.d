@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overload_admission-a864d8a3a1f19e73.d: examples/overload_admission.rs
+
+/root/repo/target/release/examples/overload_admission-a864d8a3a1f19e73: examples/overload_admission.rs
+
+examples/overload_admission.rs:

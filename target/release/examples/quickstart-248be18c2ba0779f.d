@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-248be18c2ba0779f.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-248be18c2ba0779f: examples/quickstart.rs
+
+examples/quickstart.rs:
