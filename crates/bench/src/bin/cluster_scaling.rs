@@ -1,0 +1,11 @@
+//! Fleet-scaling experiment: sweeps 1→8 homogeneous devices and compares
+//! homogeneous vs heterogeneous fleets on a fixed oversized task set.
+//!
+//! Control the per-configuration simulated horizon with `DARIS_HORIZON_MS`
+//! (default 1500 ms).
+fn main() {
+    println!("{}", daris_bench::cluster_scaling());
+    for table in daris_bench::cluster_fleets() {
+        println!("{table}");
+    }
+}

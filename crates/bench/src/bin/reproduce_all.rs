@@ -1,27 +1,58 @@
 //! Runs every experiment of the paper and prints the full paper-vs-measured
-//! report (the source of `EXPERIMENTS.md`).
+//! report (the source of `EXPERIMENTS.md`), plus the cluster-layer fleet
+//! experiments.
+//!
+//! Independent experiments run concurrently on scoped threads; reports are
+//! collected per section and printed in a fixed order, so the output is
+//! deterministic regardless of scheduling.
 //!
 //! Control the per-configuration simulated horizon with `DARIS_HORIZON_MS`
 //! (default 1500 ms).
+
+/// The report sections, in print order. Each closure regenerates one
+/// experiment and formats it as a string; they share no mutable state, so
+/// they can run on independent threads.
+fn sections() -> Vec<Box<dyn FnOnce() -> String + Send>> {
+    fn one(
+        table: impl FnOnce() -> daris_metrics::report::Table + Send + 'static,
+    ) -> Box<dyn FnOnce() -> String + Send> {
+        Box::new(move || format!("{}\n", table()))
+    }
+    fn many(
+        tables: impl FnOnce() -> Vec<daris_metrics::report::Table> + Send + 'static,
+    ) -> Box<dyn FnOnce() -> String + Send> {
+        Box::new(move || {
+            tables().into_iter().map(|t| format!("{t}\n")).collect::<Vec<_>>().concat()
+        })
+    }
+    vec![
+        one(daris_bench::table1),
+        one(daris_bench::table2),
+        one(daris_bench::figure4_resnet18),
+        one(daris_bench::figure5_unet),
+        one(daris_bench::figure6_inception),
+        one(daris_bench::figure7_mixed),
+        one(daris_bench::figure8_ablation),
+        many(daris_bench::figure9_mret),
+        many(daris_bench::figure10_batching),
+        one(daris_bench::figure11_overload),
+        one(daris_bench::gslice_comparison),
+        one(daris_bench::cluster_scaling),
+        many(daris_bench::cluster_fleets),
+    ]
+}
+
 fn main() {
     println!("# DARIS reproduction — measured results\n");
     println!(
         "Simulated horizon per configuration: {:.1} s\n",
         daris_bench::horizon().as_secs_f64()
     );
-    println!("{}", daris_bench::table1());
-    println!("{}", daris_bench::table2());
-    println!("{}", daris_bench::figure4_resnet18());
-    println!("{}", daris_bench::figure5_unet());
-    println!("{}", daris_bench::figure6_inception());
-    println!("{}", daris_bench::figure7_mixed());
-    println!("{}", daris_bench::figure8_ablation());
-    for table in daris_bench::figure9_mret() {
-        println!("{table}");
+    let reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sections().into_iter().map(|f| scope.spawn(f)).collect();
+        handles.into_iter().map(|h| h.join().expect("experiment section panicked")).collect()
+    });
+    for report in reports {
+        print!("{report}");
     }
-    for table in daris_bench::figure10_batching() {
-        println!("{table}");
-    }
-    println!("{}", daris_bench::figure11_overload());
-    println!("{}", daris_bench::gslice_comparison());
 }

@@ -18,19 +18,62 @@
 #![warn(missing_debug_implementations)]
 
 use daris_baselines::{BatchingServer, FifoMultiStreamServer, GsliceServer, SingleTenantServer};
+use daris_cluster::{
+    ClusterConfig, ClusterDispatcher, ClusterOutcome, ClusterSpec, PlacementStrategy,
+};
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome, GpuPartition};
-use daris_gpu::SimTime;
+use daris_gpu::{GpuSpec, SimTime};
 use daris_metrics::report::{fmt_num, fmt_pct, Table};
 use daris_metrics::ExperimentSummary;
 use daris_models::{DnnKind, ModelProfile, Table1Reference};
 use daris_workload::{Priority, RatioScenario, TaskSet};
 
+/// The one place `DARIS_HORIZON_MS` is parsed. A malformed value is a user
+/// error that must not silently fall back to the default (it would quietly
+/// run a 25x longer experiment than asked for).
+///
+/// # Panics
+///
+/// Panics with a clear message when the variable is set but not a whole
+/// number of milliseconds.
+fn horizon_override_ms() -> Option<u64> {
+    match std::env::var("DARIS_HORIZON_MS") {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                panic!("DARIS_HORIZON_MS must be a whole number of milliseconds, got {value:?}")
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("DARIS_HORIZON_MS is set but is not valid unicode")
+        }
+    }
+}
+
 /// Simulated horizon for each configuration, from `DARIS_HORIZON_MS`
-/// (default 1500 ms).
+/// (default 1500 ms, floored at 50 ms).
+///
+/// # Panics
+///
+/// Panics if `DARIS_HORIZON_MS` is set to a malformed value.
 pub fn horizon() -> SimTime {
-    let ms =
-        std::env::var("DARIS_HORIZON_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(1500);
-    SimTime::from_millis(ms.max(50))
+    SimTime::from_millis(horizon_override_ms().unwrap_or(1500).max(50))
+}
+
+/// A test-suite horizon: `default_ms` capped by `DARIS_HORIZON_MS` (floored
+/// at 50 ms) when the variable is set. Integration tests pick the shortest
+/// horizon at which their claim holds deterministically and let the
+/// environment cap them further for quick smoke runs.
+///
+/// # Panics
+///
+/// Panics if `DARIS_HORIZON_MS` is set to a malformed value.
+pub fn horizon_capped_ms(default_ms: u64) -> u64 {
+    match horizon_override_ms() {
+        Some(cap) => default_ms.min(cap.max(50)),
+        None => default_ms,
+    }
 }
 
 /// Runs DARIS on `taskset` under `config` until [`horizon`].
@@ -431,6 +474,126 @@ pub fn figure11_overload() -> Table {
     table
 }
 
+/// The fixed oversized fleet workload of the cluster experiments: four
+/// devices' worth of the paper's standing 150 % ResNet18 overload.
+pub fn cluster_taskset() -> TaskSet {
+    TaskSet::table2_scaled(DnnKind::ResNet18, 4)
+}
+
+fn run_cluster(
+    taskset: &TaskSet,
+    fleet: ClusterSpec,
+    strategy: PlacementStrategy,
+    horizon: SimTime,
+) -> ClusterOutcome {
+    let config = ClusterConfig { strategy, ..Default::default() };
+    let mut dispatcher = ClusterDispatcher::new(taskset, fleet, config)
+        .expect("valid cluster experiment configuration");
+    dispatcher.run_until(horizon)
+}
+
+fn cluster_row(label: &str, taskset: &TaskSet, outcome: &ClusterOutcome) -> Vec<String> {
+    let s = &outcome.summary;
+    vec![
+        label.to_owned(),
+        s.devices.to_string(),
+        fmt_num(s.throughput_jps, 0),
+        format!("{:.0}%", 100.0 * s.throughput_jps / taskset.offered_jps().max(1e-9)),
+        fmt_pct(s.high.deadline_miss_rate),
+        fmt_pct(s.low.deadline_miss_rate),
+        (s.low.rejected + s.high.rejected).to_string(),
+        s.placement_rejected_tasks.to_string(),
+        s.cluster_admissions.to_string(),
+        s.migrations.to_string(),
+        fmt_pct(s.mean_gpu_utilization.unwrap_or(0.0)),
+    ]
+}
+
+/// The column set shared by the cluster tables.
+const CLUSTER_HEADERS: [&str; 11] = [
+    "fleet",
+    "devices",
+    "JPS",
+    "served",
+    "HP DMR",
+    "LP DMR",
+    "rejected jobs",
+    "unplaced tasks",
+    "cluster adm",
+    "migrations",
+    "mean util",
+];
+
+/// Fleet scaling: aggregate throughput and deadline behaviour of 1→8
+/// homogeneous RTX 2080 Ti devices on the fixed oversized
+/// [`cluster_taskset`]. Uses the greedy-balance placement, which spreads the
+/// high-priority tasks across the fleet — first-fit-decreasing would
+/// consolidate them on the first devices and give up HP protection (see
+/// [`cluster_fleets`] for that comparison).
+pub fn cluster_scaling() -> Table {
+    let taskset = cluster_taskset();
+    let horizon = horizon();
+    let mut table = Table::new(format!(
+        "Cluster scaling — {} tasks, {:.0} JPS offered, homogeneous RTX 2080 Ti fleet",
+        taskset.len(),
+        taskset.offered_jps()
+    ));
+    table.set_headers(CLUSTER_HEADERS);
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let fleet = ClusterSpec::homogeneous(n, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+        let outcome = run_cluster(&taskset, fleet, PlacementStrategy::GreedyBalance, horizon);
+        table.add_row(cluster_row(&format!("{n}x 2080 Ti"), &taskset, &outcome));
+    }
+    table
+}
+
+/// Homogeneous vs heterogeneous fleets and first-fit-decreasing vs
+/// greedy-balance placement on the oversized workload, plus the per-device
+/// breakdown of the heterogeneous balanced run.
+pub fn cluster_fleets() -> Vec<Table> {
+    let taskset = cluster_taskset();
+    let horizon = horizon();
+    let mut fleet_table =
+        Table::new("Cluster fleets — homogeneous vs heterogeneous, FFD vs greedy balance");
+    fleet_table.set_headers(CLUSTER_HEADERS);
+    let homogeneous =
+        || ClusterSpec::homogeneous(4, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+    for (label, fleet, strategy) in [
+        ("4x 2080 Ti (FFD)", homogeneous(), PlacementStrategy::FirstFitDecreasing),
+        ("4x 2080 Ti (balance)", homogeneous(), PlacementStrategy::GreedyBalance),
+        (
+            "2080Ti+A100+H100+Orin (FFD)",
+            ClusterSpec::heterogeneous_demo(),
+            PlacementStrategy::FirstFitDecreasing,
+        ),
+    ] {
+        let outcome = run_cluster(&taskset, fleet, strategy, horizon);
+        fleet_table.add_row(cluster_row(label, &taskset, &outcome));
+    }
+    let outcome_hetero = run_cluster(
+        &taskset,
+        ClusterSpec::heterogeneous_demo(),
+        PlacementStrategy::GreedyBalance,
+        horizon,
+    );
+    fleet_table.add_row(cluster_row("2080Ti+A100+H100+Orin (balance)", &taskset, &outcome_hetero));
+
+    let mut device_table = Table::new("Heterogeneous fleet (balance) — per-device breakdown");
+    device_table.set_headers(["device", "config", "JPS", "HP DMR", "LP DMR", "GPU util"]);
+    for device in &outcome_hetero.devices {
+        let s = &device.outcome.summary;
+        device_table.add_row([
+            device.name.clone(),
+            device.outcome.config_label.clone(),
+            fmt_num(s.throughput_jps, 0),
+            fmt_pct(s.high.deadline_miss_rate),
+            fmt_pct(s.low.deadline_miss_rate),
+            fmt_pct(s.gpu_utilization.unwrap_or(0.0)),
+        ]);
+    }
+    vec![fleet_table, device_table]
+}
+
 /// Sec. VI-B: the GSlice / batching / DARIS / DARIS-without-oversubscription
 /// comparison on ResNet50 (paper: 433 / ~447 / 498 / 374 JPS).
 pub fn gslice_comparison() -> Table {
@@ -489,11 +652,25 @@ mod tests {
         let saved = std::env::var("DARIS_HORIZON_MS").ok();
         std::env::remove_var("DARIS_HORIZON_MS");
         assert_eq!(horizon(), SimTime::from_millis(1500));
+        assert_eq!(horizon_capped_ms(400), 400, "no override leaves test horizons alone");
         std::env::set_var("DARIS_HORIZON_MS", "1");
         assert_eq!(horizon(), SimTime::from_millis(50), "clamped to a sane minimum");
+        assert_eq!(horizon_capped_ms(400), 50);
+        // Malformed values fail loudly instead of silently running the
+        // 25x-longer default.
+        std::env::set_var("DARIS_HORIZON_MS", "soon");
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let malformed = std::panic::catch_unwind(horizon);
+        let malformed_capped = std::panic::catch_unwind(|| horizon_capped_ms(400));
+        std::panic::set_hook(prev_hook);
+        assert!(malformed.is_err(), "malformed DARIS_HORIZON_MS must panic");
+        assert!(malformed_capped.is_err());
         // Use a tiny horizon so the table builders stay unit-test sized.
         std::env::set_var("DARIS_HORIZON_MS", "60");
         assert_eq!(horizon(), SimTime::from_millis(60));
+        assert_eq!(horizon_capped_ms(400), 60, "the env var caps test horizons");
+        assert_eq!(horizon_capped_ms(55), 55);
         let t1 = table1();
         assert_eq!(t1.row_count(), 4);
         let t2 = table2();

@@ -1,0 +1,396 @@
+//! The cluster dispatcher: one DARIS scheduler per device, stepped in
+//! lockstep on a single global arrival plan.
+//!
+//! The dispatcher is deliberately built from the *public* stepping API of
+//! [`DarisScheduler`] (`advance_to` / `try_release_job` / `dispatch_ready` /
+//! `finish`), issuing exactly the call sequence `run_until` issues
+//! internally — which is why a single-device cluster reproduces the
+//! single-GPU path bit for bit (a property test pins this down).
+//!
+//! On top of per-device DARIS it adds two cluster-only behaviours:
+//!
+//! * **cluster-wide admission** — a job whose home device's admission test
+//!   (Eq. 11–12) rejects it is retried on the remaining devices in
+//!   ascending-load order, adopting the task as a *guest* on first contact;
+//!   only when every device refuses is the rejection charged to the home
+//!   device;
+//! * **stage-boundary migration** — after each dispatch round, queued jobs
+//!   that have not started their first stage are pulled from devices with a
+//!   backlog and no idle streams onto devices that are sitting idle.
+
+use std::collections::HashMap;
+
+use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
+use daris_gpu::{GpuSpec, SimTime};
+use daris_metrics::MetricsCollector;
+use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskId, TaskSet};
+
+use crate::{
+    place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
+};
+
+/// Upper bound on migrations per simulation step, a guard against pathological
+/// ping-ponging (in practice a step moves at most a few jobs).
+const MAX_MIGRATIONS_PER_STEP: usize = 8;
+
+/// Cluster-level scheduling configuration, shared by every device scheduler.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Placement policy for the offline task-to-device assignment.
+    pub strategy: PlacementStrategy,
+    /// MRET window size (the paper selects 5).
+    pub window_size: usize,
+    /// Ablation switches, applied on every device.
+    pub ablation: AblationFlags,
+    /// Apply the admission test to high-priority jobs too (`Overload+HPA`).
+    pub hp_admission: bool,
+    /// Retry rejected jobs on other devices before giving up.
+    pub cluster_admission: bool,
+    /// Migrate queued jobs from overloaded to idle devices.
+    pub migration: bool,
+    /// Device the model profiles are calibrated against (the paper's
+    /// measurement device). Pinned fleet-wide so heterogeneous speed
+    /// differences emerge from the simulation.
+    pub reference_gpu: GpuSpec,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            strategy: PlacementStrategy::default(),
+            window_size: 5,
+            ablation: AblationFlags::full(),
+            hp_admission: false,
+            cluster_admission: true,
+            migration: true,
+            reference_gpu: GpuSpec::rtx_2080_ti(),
+        }
+    }
+}
+
+/// One device's share of a cluster run.
+#[derive(Debug, Clone)]
+pub struct DeviceOutcome {
+    /// The device's name from the [`ClusterSpec`].
+    pub name: String,
+    /// The device's scheduler outcome (empty summary for an idle device that
+    /// received no tasks).
+    pub outcome: ExperimentOutcome,
+}
+
+/// Result of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Fleet-level aggregate metrics.
+    pub summary: ClusterSummary,
+    /// Per-device outcomes, in fleet order.
+    pub devices: Vec<DeviceOutcome>,
+}
+
+#[derive(Debug)]
+struct DeviceRuntime {
+    name: String,
+    /// `None` for a device the placement left without tasks: it idles for
+    /// the whole run (it has no scheduler to adopt guests into either).
+    scheduler: Option<DarisScheduler>,
+    /// Global task index → device-local task id (placed and adopted tasks).
+    local_of_global: HashMap<usize, TaskId>,
+    /// The inverse map, indexed by local task id.
+    global_of_local: Vec<usize>,
+}
+
+/// Runs a [`TaskSet`] on a fleet of devices.
+#[derive(Debug)]
+pub struct ClusterDispatcher {
+    config: ClusterConfig,
+    taskset: TaskSet,
+    placement: Placement,
+    devices: Vec<DeviceRuntime>,
+    /// Accounts releases of tasks no device could take at placement time.
+    unplaced: MetricsCollector,
+    migrations: usize,
+    cluster_admissions: usize,
+}
+
+fn localize(mut job: Job, local: TaskId) -> Job {
+    job.id.task = local;
+    job
+}
+
+impl ClusterDispatcher {
+    /// Places `taskset` on `cluster` and builds one scheduler per device
+    /// that received tasks.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty cluster or task set, an infeasible device
+    /// partition, or a device scheduler that cannot be built (e.g. a plan
+    /// whose model weights exceed device memory — the placement engine's
+    /// accounting prevents this for the shipped specs).
+    pub fn new(taskset: &TaskSet, cluster: ClusterSpec, config: ClusterConfig) -> Result<Self> {
+        cluster.validate()?;
+        if taskset.is_empty() {
+            return Err(ClusterError::EmptyTaskSet);
+        }
+        let placement = place(taskset, &cluster, config.strategy, &config.reference_gpu);
+        let mut devices = Vec::with_capacity(cluster.len());
+        for (spec, plan) in cluster.devices().iter().zip(&placement.plans) {
+            let scheduler = if plan.taskset.is_empty() {
+                None
+            } else {
+                let mut device_config = DarisConfig::new(spec.partition)
+                    .with_gpu(spec.gpu.clone())
+                    .with_reference_calibration(config.reference_gpu.clone())
+                    .with_window_size(config.window_size)
+                    .with_ablation(config.ablation);
+                if config.hp_admission {
+                    device_config = device_config.with_hp_admission();
+                }
+                Some(DarisScheduler::new(&plan.taskset, device_config).map_err(|source| {
+                    ClusterError::Scheduler { device: spec.name.clone(), source }
+                })?)
+            };
+            let local_of_global = plan
+                .task_indices
+                .iter()
+                .enumerate()
+                .map(|(local, &global)| (global, TaskId(local as u32)))
+                .collect();
+            devices.push(DeviceRuntime {
+                name: spec.name.clone(),
+                scheduler,
+                local_of_global,
+                global_of_local: plan.task_indices.clone(),
+            });
+        }
+        Ok(ClusterDispatcher {
+            config,
+            taskset: taskset.clone(),
+            placement,
+            devices,
+            unplaced: MetricsCollector::new(),
+            migrations: 0,
+            cluster_admissions: 0,
+        })
+    }
+
+    /// The offline placement this dispatcher runs under.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Runs the fleet until `horizon` and returns per-device and aggregate
+    /// outcomes. Call once per dispatcher.
+    pub fn run_until(&mut self, horizon: SimTime) -> ClusterOutcome {
+        let plan = ArrivalPlan::generate(&self.taskset, horizon, ReleaseJitter::None);
+        let arrivals: Vec<Job> = plan.jobs().to_vec();
+        let mut next_arrival = 0usize;
+
+        loop {
+            let next_release = arrivals.get(next_arrival).map(|j| j.release);
+            let gpu_next = self
+                .devices
+                .iter()
+                .filter_map(|d| d.scheduler.as_ref().and_then(DarisScheduler::next_event_time))
+                .min();
+            let step_to = match (next_release, gpu_next) {
+                (Some(r), Some(g)) => r.min(g),
+                (Some(r), None) => r,
+                (None, Some(g)) => g,
+                (None, None) => break,
+            };
+            if step_to > horizon {
+                break;
+            }
+            for device in &mut self.devices {
+                if let Some(scheduler) = device.scheduler.as_mut() {
+                    scheduler.advance_to(step_to);
+                }
+            }
+            while next_arrival < arrivals.len() && arrivals[next_arrival].release <= step_to {
+                let job = arrivals[next_arrival];
+                next_arrival += 1;
+                self.route_release(job);
+            }
+            for device in &mut self.devices {
+                if let Some(scheduler) = device.scheduler.as_mut() {
+                    scheduler.dispatch_ready();
+                }
+            }
+            if self.config.migration {
+                self.rebalance();
+            }
+        }
+
+        let outcomes: Vec<DeviceOutcome> = self
+            .devices
+            .iter_mut()
+            .map(|device| {
+                let outcome = match device.scheduler.as_mut() {
+                    Some(scheduler) => scheduler.finish(horizon),
+                    None => ExperimentOutcome {
+                        summary: MetricsCollector::new().summarize(horizon),
+                        mret_trace: Vec::new(),
+                        config_label: "idle".to_owned(),
+                    },
+                };
+                DeviceOutcome { name: device.name.clone(), outcome }
+            })
+            .collect();
+
+        let duration = horizon.duration_since(SimTime::ZERO);
+        let mut summary = ClusterSummary::aggregate(
+            outcomes.iter().map(|d| &d.outcome.summary).collect::<Vec<_>>(),
+            &self.unplaced.summarize(horizon),
+            duration,
+        );
+        summary.migrations = self.migrations;
+        summary.cluster_admissions = self.cluster_admissions;
+        summary.placement_rejected_tasks = self.placement.rejected.len();
+        ClusterOutcome { summary, devices: outcomes }
+    }
+
+    /// Routes one release: home device first, then (for jobs the home
+    /// admission test rejects) every other device in ascending-load order;
+    /// only when the whole fleet refuses is the rejection recorded — on the
+    /// home device, so each job is accounted exactly once.
+    fn route_release(&mut self, job: Job) {
+        let global = job.id.task.index();
+        let Some(home) = self.placement.device_of[global] else {
+            self.unplaced.record_rejection(&job);
+            return;
+        };
+        let home_local = self.devices[home].local_of_global[&global];
+        let home_job = localize(job, home_local);
+        let admitted = self.devices[home]
+            .scheduler
+            .as_mut()
+            .expect("home device has a scheduler")
+            .try_release_job(home_job);
+        if admitted {
+            return;
+        }
+        if self.config.cluster_admission {
+            let mut candidates: Vec<usize> = (0..self.devices.len())
+                .filter(|&d| d != home && self.devices[d].scheduler.is_some())
+                .collect();
+            let load = |d: usize| {
+                self.devices[d]
+                    .scheduler
+                    .as_ref()
+                    .map(DarisScheduler::active_load_fraction)
+                    .unwrap_or(f64::INFINITY)
+            };
+            candidates.sort_by(|&a, &b| load(a).total_cmp(&load(b)).then_with(|| a.cmp(&b)));
+            for device in candidates {
+                let Some(local) = self.local_id_on(device, global) else { continue };
+                let scheduler =
+                    self.devices[device].scheduler.as_mut().expect("candidate has a scheduler");
+                if scheduler.try_release_job(localize(job, local)) {
+                    self.cluster_admissions += 1;
+                    return;
+                }
+            }
+        }
+        self.devices[home]
+            .scheduler
+            .as_mut()
+            .expect("home device has a scheduler")
+            .reject_job(&home_job);
+    }
+
+    /// The local id of global task `global` on `device`, adopting the task
+    /// as a guest on first contact. `None` if adoption fails (model weights
+    /// do not fit in the device's remaining memory).
+    fn local_id_on(&mut self, device: usize, global: usize) -> Option<TaskId> {
+        if let Some(&local) = self.devices[device].local_of_global.get(&global) {
+            return Some(local);
+        }
+        let spec = self.taskset.tasks()[global].clone();
+        let scheduler = self.devices[device].scheduler.as_mut()?;
+        let local = scheduler.adopt_task(&spec).ok()?;
+        debug_assert_eq!(local.index(), self.devices[device].global_of_local.len());
+        self.devices[device].local_of_global.insert(global, local);
+        self.devices[device].global_of_local.push(global);
+        Some(local)
+    }
+
+    /// The global task index behind a device-local task id.
+    fn global_of(&self, device: usize, local: TaskId) -> usize {
+        self.devices[device].global_of_local[local.index()]
+    }
+
+    /// Stage-boundary migration: while some device has a backlog it cannot
+    /// serve (no idle stream) and another device sits idle, move queued
+    /// not-yet-started jobs over (least urgent first, admission-tested on
+    /// the receiver).
+    fn rebalance(&mut self) {
+        for _ in 0..MAX_MIGRATIONS_PER_STEP {
+            let backlog = |d: &DeviceRuntime| {
+                d.scheduler.as_ref().map(DarisScheduler::queue_backlog).unwrap_or(0)
+            };
+            let idle = |d: &DeviceRuntime| {
+                d.scheduler.as_ref().map(DarisScheduler::idle_stream_count).unwrap_or(0)
+            };
+            let Some(src) = (0..self.devices.len())
+                .filter(|&d| backlog(&self.devices[d]) > 0 && idle(&self.devices[d]) == 0)
+                .max_by_key(|&d| (backlog(&self.devices[d]), usize::MAX - d))
+            else {
+                break;
+            };
+            let Some(dst) = (0..self.devices.len())
+                .filter(|&d| {
+                    d != src && backlog(&self.devices[d]) == 0 && idle(&self.devices[d]) > 0
+                })
+                .max_by_key(|&d| (idle(&self.devices[d]), usize::MAX - d))
+            else {
+                break;
+            };
+
+            let candidates = self.devices[src]
+                .scheduler
+                .as_ref()
+                .map(DarisScheduler::migratable_jobs)
+                .unwrap_or_default();
+            let mut moved = false;
+            for local_job in candidates {
+                let global = self.global_of(src, local_job.task);
+                let Some(dst_local) = self.local_id_on(dst, global) else { continue };
+                let priority = self.taskset.tasks()[global].priority;
+                let dst_admits = self.devices[dst]
+                    .scheduler
+                    .as_ref()
+                    .map(|s| s.would_admit(dst_local, priority))
+                    .unwrap_or(false);
+                if !dst_admits {
+                    continue;
+                }
+                let Some(withdrawn) = self.devices[src]
+                    .scheduler
+                    .as_mut()
+                    .and_then(|s| s.withdraw_queued_job(local_job))
+                else {
+                    continue;
+                };
+                let dst_scheduler =
+                    self.devices[dst].scheduler.as_mut().expect("dst has a scheduler");
+                if dst_scheduler.try_release_job(localize(withdrawn, dst_local)) {
+                    dst_scheduler.dispatch_ready();
+                    self.migrations += 1;
+                    moved = true;
+                    break;
+                }
+                // The receiver changed its mind (should not happen — the
+                // admission test was just consulted); restore the job home.
+                let src_scheduler =
+                    self.devices[src].scheduler.as_mut().expect("src has a scheduler");
+                if !src_scheduler.try_release_job(withdrawn) {
+                    src_scheduler.reject_job(&withdrawn);
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Fleet-level aggregation of per-device experiment summaries.
+
+use daris_gpu::SimDuration;
+use daris_metrics::{ExperimentSummary, PrioritySummary};
+
+/// Aggregate metrics of one cluster run, built from the per-device
+/// [`ExperimentSummary`]s (plus the dispatcher's accounting of jobs whose
+/// tasks no device could take at placement time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Number of devices in the fleet.
+    pub devices: usize,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Aggregate completed inferences per second across the fleet.
+    pub throughput_jps: f64,
+    /// High-priority outcomes, fleet-wide.
+    pub high: PrioritySummary,
+    /// Low-priority outcomes, fleet-wide.
+    pub low: PrioritySummary,
+    /// Combined outcomes, fleet-wide.
+    pub total: PrioritySummary,
+    /// Mean GPU utilization over devices that reported one.
+    pub mean_gpu_utilization: Option<f64>,
+    /// Queued jobs migrated across devices at stage boundaries.
+    pub migrations: usize,
+    /// Jobs admitted on a non-home device after their home rejected them.
+    pub cluster_admissions: usize,
+    /// Tasks the placement engine rejected outright.
+    pub placement_rejected_tasks: usize,
+}
+
+impl ClusterSummary {
+    /// Aggregates device summaries (each over a *disjoint* job population).
+    /// `extra` carries jobs accounted by the dispatcher itself — releases of
+    /// tasks that were never placed on any device.
+    pub fn aggregate<'a>(
+        parts: impl IntoIterator<Item = &'a ExperimentSummary> + Clone,
+        extra: &ExperimentSummary,
+        duration: SimDuration,
+    ) -> Self {
+        let devices = parts.clone().into_iter().count();
+        let high = PrioritySummary::merged(
+            parts.clone().into_iter().map(|s| &s.high).chain([&extra.high]),
+        );
+        let low =
+            PrioritySummary::merged(parts.clone().into_iter().map(|s| &s.low).chain([&extra.low]));
+        let total = PrioritySummary::merged(
+            parts.clone().into_iter().map(|s| &s.total).chain([&extra.total]),
+        );
+        let throughput_jps = if duration.is_zero() {
+            0.0
+        } else {
+            total.completed_inferences as f64 / duration.as_secs_f64()
+        };
+        let utils: Vec<f64> = parts.into_iter().filter_map(|s| s.gpu_utilization).collect();
+        let mean_gpu_utilization = if utils.is_empty() {
+            None
+        } else {
+            Some(utils.iter().sum::<f64>() / utils.len() as f64)
+        };
+        ClusterSummary {
+            devices,
+            duration,
+            throughput_jps,
+            high,
+            low,
+            total,
+            mean_gpu_utilization,
+            migrations: 0,
+            cluster_admissions: 0,
+            placement_rejected_tasks: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_gpu::{SimDuration, SimTime};
+    use daris_metrics::MetricsCollector;
+    use daris_models::DnnKind;
+    use daris_workload::TaskSet;
+
+    #[test]
+    fn aggregate_sums_counts_and_throughput() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let task = &ts.tasks()[0];
+        let horizon = SimTime::from_millis(500);
+        let device = |jobs: u64| {
+            let mut m = MetricsCollector::new();
+            for i in 0..jobs {
+                let j = task.job(i);
+                m.record_release(&j);
+                m.record_completion(&j, j.release + SimDuration::from_millis(2));
+            }
+            m.summarize(horizon).with_gpu_utilization(0.5)
+        };
+        let a = device(4);
+        let b = device(6);
+        let empty = MetricsCollector::new().summarize(horizon);
+        let s = ClusterSummary::aggregate([&a, &b], &empty, SimDuration::from_millis(500));
+        assert_eq!(s.devices, 2);
+        assert_eq!(s.total.completed, 10);
+        // 10 inferences over 0.5 s = 20 JPS.
+        assert!((s.throughput_jps - 20.0).abs() < 1e-9);
+        assert_eq!(s.mean_gpu_utilization, Some(0.5));
+        // The extra (unplaced) accounting flows into the totals.
+        let mut rejected = MetricsCollector::new();
+        let j = task.job(99);
+        rejected.record_rejection(&j);
+        let extra = rejected.summarize(horizon);
+        let s2 = ClusterSummary::aggregate([&a], &extra, SimDuration::from_millis(500));
+        assert_eq!(s2.total.rejected, 1);
+        assert_eq!(s2.total.released, 5);
+    }
+}

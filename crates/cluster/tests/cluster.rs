@@ -1,0 +1,264 @@
+//! Cluster invariants, end to end:
+//!
+//! * placement never exceeds a device's utilization capacity or memory
+//!   budget, and every task is either placed or explicitly rejected
+//!   (property tests over random task sets and fleets);
+//! * a single-device cluster reproduces the *exact* `ExperimentSummary` of
+//!   the existing single-GPU path;
+//! * aggregate throughput grows monotonically from 1 to 4 homogeneous
+//!   devices on a fixed oversized task set while high-priority deadline
+//!   protection holds fleet-wide;
+//! * every released job is accounted exactly once, no matter how often it
+//!   is retried or migrated across devices.
+
+use std::collections::HashSet;
+
+use daris_cluster::{
+    place, utilization_estimates, ClusterConfig, ClusterDispatcher, ClusterSpec, DeviceSpec,
+    PlacementStrategy,
+};
+use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
+use daris_gpu::{GpuSpec, SimTime, XorShiftRng};
+use daris_models::DnnKind;
+use daris_workload::{ArrivalPlan, Priority, ReleaseJitter, TaskSet, TaskSetBuilder};
+use proptest::prelude::*;
+
+fn reference() -> GpuSpec {
+    GpuSpec::rtx_2080_ti()
+}
+
+/// Deterministic random task set: up to `n_tasks` tasks over the three
+/// Table II model kinds with varied rates, priorities and batch sizes.
+fn random_taskset(seed: u64, n_tasks: usize) -> TaskSet {
+    let mut rng = XorShiftRng::new(seed);
+    let kinds = [DnnKind::ResNet18, DnnKind::UNet, DnnKind::InceptionV3];
+    let mut builder = TaskSetBuilder::new();
+    for _ in 0..n_tasks.max(1) {
+        let kind = kinds[(rng.next_u64() % 3) as usize];
+        let jps = 5.0 + rng.uniform(0.0, 35.0);
+        let priority = if rng.next_u64() % 3 == 0 { Priority::High } else { Priority::Low };
+        builder = builder.add_tasks(kind, 1, jps, priority);
+    }
+    builder.build()
+}
+
+/// Deterministic random fleet of 1–4 devices drawn from the shipped specs.
+fn random_fleet(seed: u64, n_devices: usize) -> ClusterSpec {
+    let mut rng = XorShiftRng::new(seed ^ 0x000f_1ee7);
+    let mut fleet = ClusterSpec::new();
+    for i in 0..n_devices.max(1) {
+        let (gpu, partition) = match rng.next_u64() % 4 {
+            0 => (GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0)),
+            1 => (GpuSpec::a100(), GpuPartition::mps(8, 8.0)),
+            2 => (GpuSpec::h100(), GpuPartition::mps(10, 10.0)),
+            _ => (GpuSpec::orin(), GpuPartition::str_streams(4)),
+        };
+        fleet = fleet.with_device(DeviceSpec::new(format!("d{i}"), gpu, partition));
+    }
+    fleet
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Placement never exceeds any device's utilization capacity or memory
+    /// budget, and partitions the tasks into placed-exactly-once ∪ rejected.
+    #[test]
+    fn placement_invariants(seed in 0u64..1_000_000, n_tasks in 1usize..50, n_devices in 1usize..5) {
+        let taskset = random_taskset(seed, n_tasks);
+        let fleet = random_fleet(seed, n_devices);
+        let strategy = if seed % 2 == 0 {
+            PlacementStrategy::FirstFitDecreasing
+        } else {
+            PlacementStrategy::GreedyBalance
+        };
+        let placement = place(&taskset, &fleet, strategy, &reference());
+        let utils = utilization_estimates(&taskset, &reference());
+
+        // Every task is placed exactly once or explicitly rejected.
+        let rejected: HashSet<usize> = placement.rejected.iter().map(|id| id.index()).collect();
+        prop_assert_eq!(placement.placed_count() + rejected.len(), taskset.len());
+        let mut seen = HashSet::new();
+        for (i, device) in placement.device_of.iter().enumerate() {
+            match device {
+                Some(d) => {
+                    prop_assert!(*d < fleet.len());
+                    prop_assert!(!rejected.contains(&i), "task {i} both placed and rejected");
+                    prop_assert!(placement.plans[*d].task_indices.contains(&i));
+                    prop_assert!(seen.insert(i));
+                }
+                None => prop_assert!(rejected.contains(&i), "task {i} neither placed nor rejected"),
+            }
+        }
+
+        // Per-device quota and memory accounting, recomputed independently.
+        for plan in &placement.plans {
+            let device = &fleet.devices()[plan.device];
+            let packed: f64 = plan.task_indices.iter().map(|&i| utils[i]).sum();
+            let capacity = device.utilization_capacity(reference().sm_count);
+            prop_assert!(packed <= capacity + 1e-6,
+                "device {} packed {packed} over capacity {capacity}", device.name);
+            prop_assert!((plan.utilization - packed).abs() < 1e-6);
+            prop_assert!(plan.memory_bytes <= device.memory_budget());
+            // Local sets preserve the global relative order.
+            let mut sorted = plan.task_indices.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &plan.task_indices);
+            prop_assert_eq!(plan.taskset.len(), plan.task_indices.len());
+        }
+    }
+}
+
+#[test]
+fn single_device_cluster_reproduces_the_single_gpu_path_exactly() {
+    let horizon = SimTime::from_millis(200);
+    let partition = GpuPartition::mps(6, 6.0);
+    for taskset in [TaskSet::table2(DnnKind::UNet), TaskSet::mixed()] {
+        let mut single = DarisScheduler::new(&taskset, DarisConfig::new(partition))
+            .expect("single-GPU scheduler builds");
+        let expected = single.run_until(horizon);
+
+        let fleet = ClusterSpec::homogeneous(1, GpuSpec::rtx_2080_ti(), partition);
+        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, ClusterConfig::default())
+            .expect("dispatcher builds");
+        assert!(dispatcher.placement().rejected.is_empty(), "the sets fit one device");
+        let outcome = dispatcher.run_until(horizon);
+
+        assert_eq!(
+            outcome.devices[0].outcome.summary, expected.summary,
+            "1-device cluster must be byte-identical to the single-GPU path"
+        );
+        assert_eq!(outcome.summary.total, expected.summary.total);
+        assert_eq!(outcome.summary.high, expected.summary.high);
+        assert_eq!(outcome.summary.migrations, 0);
+        assert_eq!(outcome.summary.cluster_admissions, 0);
+    }
+}
+
+#[test]
+fn aggregate_throughput_scales_monotonically_to_four_devices() {
+    // A fixed oversized workload: 4 devices' worth of the paper's standing
+    // 150 % ResNet18 overload.
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 4);
+    let horizon = SimTime::from_millis(250);
+    let partition = GpuPartition::mps(6, 6.0);
+
+    // Reference: plain single-device DARIS on the same oversized set.
+    let mut single = DarisScheduler::new(&taskset, DarisConfig::new(partition))
+        .expect("single-GPU scheduler builds");
+    let single_outcome = single.run_until(horizon);
+
+    let mut jps = Vec::new();
+    let mut hp_dmr = Vec::new();
+    for n in [1usize, 2, 4] {
+        let fleet = ClusterSpec::homogeneous(n, GpuSpec::rtx_2080_ti(), partition);
+        // The scaling experiment's strategy: greedy balance spreads the HP
+        // tasks across the fleet (first-fit would consolidate them).
+        let config =
+            ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
+        let mut dispatcher =
+            ClusterDispatcher::new(&taskset, fleet, config).expect("dispatcher builds");
+        let outcome = dispatcher.run_until(horizon);
+        assert_eq!(outcome.summary.devices, n);
+        jps.push(outcome.summary.throughput_jps);
+        hp_dmr.push(outcome.summary.high.deadline_miss_rate);
+    }
+
+    assert!(
+        jps[0] < jps[1] && jps[1] < jps[2],
+        "aggregate JPS must grow monotonically 1→2→4 devices: {jps:?}"
+    );
+    assert!(jps[2] > 2.5 * jps[0], "4 devices should deliver well over 2.5x one device: {jps:?}");
+    for (n, dmr) in [1, 2, 4].into_iter().zip(&hp_dmr) {
+        assert!(
+            *dmr <= single_outcome.summary.high.deadline_miss_rate + 1e-9,
+            "fleet of {n}: HP DMR {dmr} worse than single-device \
+             {}",
+            single_outcome.summary.high.deadline_miss_rate
+        );
+    }
+    // At 4 balanced devices every device carries a Table II-like share, so
+    // the paper's HP deadline protection holds at fleet scale.
+    assert!(hp_dmr[2] < 0.05, "HP DMR at 4 balanced devices: {}", hp_dmr[2]);
+}
+
+#[test]
+fn every_job_is_accounted_exactly_once_across_the_fleet() {
+    // An asymmetric overloaded fleet exercises every cross-device path:
+    // home admission, cluster-wide retry, migration, and rejection.
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 2);
+    let horizon = SimTime::from_millis(300);
+    let fleet = ClusterSpec::new()
+        .with_device(DeviceSpec::new("small", GpuSpec::rtx_2080_ti(), GpuPartition::str_streams(1)))
+        .with_device(DeviceSpec::new(
+            "big",
+            GpuSpec::rtx_2080_ti().with_seed(0x5eed_da13),
+            GpuPartition::mps(6, 6.0),
+        ));
+    let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, ClusterConfig::default())
+        .expect("dispatcher builds");
+    let outcome = dispatcher.run_until(horizon);
+
+    let expected_releases = ArrivalPlan::generate(&taskset, horizon, ReleaseJitter::None).len();
+    assert_eq!(
+        outcome.summary.total.released, expected_releases,
+        "released jobs must be conserved across admission retries and migrations"
+    );
+    let per_device: usize = outcome.devices.iter().map(|d| d.outcome.summary.total.released).sum();
+    assert!(per_device <= expected_releases, "no job may be counted on two devices");
+    assert_eq!(outcome.summary.total.accepted + outcome.summary.total.rejected, expected_releases);
+}
+
+#[test]
+fn overloaded_device_offloads_to_an_idle_one() {
+    // One starved device (a single stream) next to a large idle one: the
+    // dispatcher must move work over — by cluster-wide admission of jobs the
+    // small device cannot take, by migrating its queued jobs, or both.
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let horizon = SimTime::from_millis(300);
+    let fleet = ClusterSpec::new()
+        .with_device(DeviceSpec::new("tiny", GpuSpec::rtx_2080_ti(), GpuPartition::str_streams(1)))
+        .with_device(DeviceSpec::new(
+            "big",
+            GpuSpec::rtx_2080_ti().with_seed(0x5eed_da14),
+            GpuPartition::mps(6, 6.0),
+        ));
+    let config =
+        ClusterConfig { strategy: PlacementStrategy::FirstFitDecreasing, ..Default::default() };
+    let mut dispatcher =
+        ClusterDispatcher::new(&taskset, fleet, config).expect("dispatcher builds");
+    let outcome = dispatcher.run_until(horizon);
+    assert!(
+        outcome.summary.cluster_admissions + outcome.summary.migrations > 0,
+        "no cross-device action on a starved+idle fleet: {:?}",
+        outcome.summary
+    );
+    // With the fleet behind it, HP protection must hold.
+    assert!(outcome.summary.high.deadline_miss_rate < 0.05);
+}
+
+#[test]
+fn heterogeneous_fleet_orders_devices_by_hardware_class() {
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 4);
+    let horizon = SimTime::from_millis(200);
+    let config = ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
+    let mut dispatcher =
+        ClusterDispatcher::new(&taskset, ClusterSpec::heterogeneous_demo(), config)
+            .expect("dispatcher builds");
+    let outcome = dispatcher.run_until(horizon);
+    assert_eq!(outcome.summary.devices, 4);
+    let jps_of = |name: &str| {
+        outcome
+            .devices
+            .iter()
+            .find(|d| d.name.starts_with(name))
+            .map(|d| d.outcome.summary.throughput_jps)
+            .expect("device present")
+    };
+    // Under a saturating load the H100 out-serves the 2080 Ti, which
+    // out-serves the embedded Orin — device speed emerges from the
+    // simulation rather than being calibrated away.
+    assert!(jps_of("h100") > 1.2 * jps_of("rtx2080ti"), "H100 should clearly lead");
+    assert!(jps_of("rtx2080ti") > jps_of("orin"), "the embedded part serves least");
+    assert!(outcome.summary.throughput_jps > jps_of("rtx2080ti"));
+}

@@ -211,6 +211,13 @@ pub struct DarisConfig {
     pub hp_admission: bool,
     /// Device description (defaults to the paper's RTX 2080 Ti).
     pub gpu: GpuSpec,
+    /// Device the model profiles are calibrated against. `None` (the
+    /// default) calibrates on [`gpu`](Self::gpu) itself, which re-anchors
+    /// Table I on whatever device is simulated. A heterogeneous cluster
+    /// instead pins calibration to the paper's measurement device (the RTX
+    /// 2080 Ti) on *every* member, so that device speed differences emerge
+    /// from the simulation instead of being calibrated away.
+    pub calibration_gpu: Option<GpuSpec>,
     /// Record per-stage execution-time vs MRET samples (Fig. 9). Default off
     /// to keep long runs lean.
     pub record_mret_trace: bool,
@@ -226,6 +233,7 @@ impl DarisConfig {
             ablation: AblationFlags::full(),
             hp_admission: false,
             gpu: GpuSpec::rtx_2080_ti(),
+            calibration_gpu: None,
             record_mret_trace: false,
         }
     }
@@ -252,6 +260,18 @@ impl DarisConfig {
     pub fn with_gpu(mut self, gpu: GpuSpec) -> Self {
         self.gpu = gpu;
         self
+    }
+
+    /// Pins model-profile calibration to `reference` instead of the simulated
+    /// device (see [`calibration_gpu`](Self::calibration_gpu)).
+    pub fn with_reference_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration_gpu = Some(reference);
+        self
+    }
+
+    /// The device model profiles are calibrated against.
+    pub fn calibration_spec(&self) -> &GpuSpec {
+        self.calibration_gpu.as_ref().unwrap_or(&self.gpu)
     }
 
     /// Enables MRET tracing (Fig. 9).
@@ -328,6 +348,13 @@ mod tests {
         assert!(cfg.hp_admission);
         assert!(cfg.record_mret_trace);
         assert_eq!(cfg.window_size, 5);
+        // Calibration defaults to the simulated device and can be pinned.
+        assert_eq!(cfg.calibration_spec(), &cfg.gpu);
+        let pinned = DarisConfig::new(GpuPartition::mps(6, 6.0))
+            .with_gpu(GpuSpec::a100())
+            .with_reference_calibration(GpuSpec::rtx_2080_ti());
+        assert_eq!(pinned.calibration_spec().sm_count, 68);
+        assert_eq!(pinned.gpu.sm_count, 108);
         let bad = DarisConfig::new(GpuPartition::mps(6, 0.2));
         assert!(bad.validate().is_err());
         assert_eq!(

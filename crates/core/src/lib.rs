@@ -63,7 +63,7 @@ pub use config::{AblationFlags, DarisConfig, GpuPartition, PartitionPolicy};
 pub use error::CoreError;
 pub use mret::MretEstimator;
 pub use offline::{assignment_by_context, populate_contexts};
-pub use scheduler::{DarisScheduler, ExperimentOutcome, MretSample};
+pub use scheduler::{DarisScheduler, ExperimentOutcome, MretSample, AFET_INFLATION};
 pub use stage_queue::{ReadyStage, StageQueue};
 pub use utilization::ContextLoad;
 pub use vdeadline::virtual_deadlines;

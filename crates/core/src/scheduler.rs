@@ -19,6 +19,13 @@ use crate::{
     MretEstimator, ReadyStage, Result, StageQueue,
 };
 
+/// Inflation applied to isolated latencies to approximate the full-load AFET
+/// (Eq. 10) when no profiling pass is available: pessimistic enough to keep
+/// the first admission honest, corrected by MRET within a window. Shared by
+/// guest-task seeding here and by `daris-cluster`'s placement utilization
+/// estimates, so the offline packing and the online admission currency agree.
+pub const AFET_INFLATION: f64 = 1.5;
+
 /// One execution-time observation paired with the MRET prediction that was in
 /// force when the stage was dispatched (the data behind Fig. 9).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,7 +104,9 @@ impl DarisScheduler {
         let profiles: HashMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
-            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &config.gpu)))
+            .map(|k| {
+                (k, ModelProfile::calibrated_for(k, Default::default(), config.calibration_spec()))
+            })
             .collect();
 
         // Spatial partition: Nc contexts × Ns streams with the Eq. 9 quota.
@@ -193,7 +202,7 @@ impl DarisScheduler {
 
         loop {
             let next_release = arrivals.get(next_arrival).map(|j| j.release);
-            let gpu_next = self.gpu.next_event_time();
+            let gpu_next = self.next_event_time();
             let step_to = match (next_release, gpu_next) {
                 (Some(r), Some(g)) => r.min(g),
                 (Some(r), None) => r,
@@ -203,16 +212,7 @@ impl DarisScheduler {
             if step_to > horizon {
                 break;
             }
-            let completions = self.gpu.advance_to(step_to);
-            self.now = step_to;
-            for completion in completions {
-                self.handle_completion(
-                    completion.tag,
-                    completion.finished_at,
-                    completion.execution_time(),
-                    completion.stream,
-                );
-            }
+            self.advance_to(step_to);
             while next_arrival < arrivals.len() && arrivals[next_arrival].release <= self.now {
                 let job = arrivals[next_arrival];
                 next_arrival += 1;
@@ -221,9 +221,32 @@ impl DarisScheduler {
             self.dispatch();
         }
 
-        // Account the remaining time up to the horizon (no further releases).
-        let completions = self.gpu.advance_to(horizon);
-        self.now = horizon;
+        self.finish(horizon)
+    }
+
+    // ----- external driving (cluster dispatcher) ----------------------------
+    //
+    // `run_until` is built entirely out of the public methods below, so an
+    // external event loop (e.g. `daris-cluster`'s dispatcher, which steps
+    // several schedulers in lockstep) reproduces the exact single-device
+    // behaviour by issuing the same call sequence.
+
+    /// Earliest pending simulator event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.gpu.next_event_time()
+    }
+
+    /// The scheduler's current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the simulated GPU to `target` and processes every stage
+    /// completion on the way (without dispatching queued stages; call
+    /// [`dispatch_ready`](Self::dispatch_ready) afterwards).
+    pub fn advance_to(&mut self, target: SimTime) {
+        let completions = self.gpu.advance_to(target);
+        self.now = target;
         for completion in completions {
             self.handle_completion(
                 completion.tag,
@@ -232,7 +255,16 @@ impl DarisScheduler {
                 completion.stream,
             );
         }
+    }
 
+    /// Dispatches ready stages onto idle streams, most urgent first.
+    pub fn dispatch_ready(&mut self) {
+        self.dispatch();
+    }
+
+    /// Final accounting: advances to `horizon` and produces the outcome.
+    pub fn finish(&mut self, horizon: SimTime) -> ExperimentOutcome {
+        self.advance_to(horizon);
         let summary =
             self.metrics.summarize(horizon).with_gpu_utilization(self.gpu.average_utilization());
         ExperimentOutcome {
@@ -246,10 +278,71 @@ impl DarisScheduler {
         }
     }
 
-    // ----- event handlers ---------------------------------------------------
+    /// The admission test (Eq. 11–12) exposed for external callers: whether a
+    /// release of `task` (a task of *this* scheduler's set) at priority
+    /// `priority` would currently be admitted on some context. High-priority
+    /// jobs are only ever tested when the `Overload+HPA` mode is enabled.
+    pub fn would_admit(&self, task: TaskId, priority: Priority) -> bool {
+        let Some(spec) = self.taskset.task(task) else { return false };
+        match priority {
+            Priority::High if !self.config.hp_admission => true,
+            _ => {
+                let util = self.mret.task_utilization(task, spec.period);
+                let home = self.assignment[task.index()];
+                self.admit(spec, priority, util, home).is_some()
+            }
+        }
+    }
 
-    fn handle_release(&mut self, job: Job) {
-        self.metrics.record_release(&job);
+    /// Registers a *guest* task — one that was placed on another device but
+    /// is being admitted or migrated here by a cluster dispatcher — and
+    /// returns its local id. Loads the model's weights if the kind is new
+    /// (which can fail on device memory; the residency is kept for future
+    /// retries of the same kind), seeds MRET from inflated isolated
+    /// latencies (a cheap stand-in for the AFET pass, corrected by MRET
+    /// within a few jobs), and homes the task on the least-loaded context.
+    ///
+    /// Unlike tasks placed here offline, a guest charges **no assigned
+    /// utilization**: it only pays the active-job charge while its jobs run,
+    /// so adopting a task that then never releases here (the dispatcher
+    /// retries it elsewhere) does not shrink the device's Eq. 11 LP
+    /// headroom.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model's weights do not fit in device memory.
+    pub fn adopt_task(&mut self, task: &TaskSpec) -> Result<TaskId> {
+        if !self.profiles.contains_key(&task.model) {
+            let profile = ModelProfile::calibrated_for(
+                task.model,
+                Default::default(),
+                self.config.calibration_spec(),
+            );
+            self.gpu
+                .memory_mut()
+                .alloc(format!("{}.weights", task.model), profile.weight_bytes())?;
+            self.profiles.insert(task.model, profile);
+        }
+        let local = self.taskset.adopt(task.clone());
+        let spec = self.taskset.task(local).expect("just adopted").clone();
+        let profiles: HashMap<DnnKind, ModelProfile> =
+            [(spec.model, self.profiles[&spec.model].clone())].into_iter().collect();
+        let afet = AfetProfiler::from_isolated(&profiles, AFET_INFLATION);
+        let seeds = effective_stage_seeds(&afet, &spec, &self.config);
+        self.mret.seed(local, seeds);
+        let ctx = (0..self.loads.len())
+            .min_by(|a, b| self.loads[*a].total_util().total_cmp(&self.loads[*b].total_util()))
+            .expect("at least one context");
+        self.assignment.push(ctx);
+        Ok(local)
+    }
+
+    /// Releases `job` (of a task of this scheduler's set), applying the
+    /// admission test. Returns `false` — recording *nothing* — when the job
+    /// is rejected, so a cluster dispatcher can retry it on another device
+    /// before charging the rejection somewhere via
+    /// [`reject_job`](Self::reject_job).
+    pub fn try_release_job(&mut self, job: Job) -> bool {
         let task = self
             .taskset
             .task(job.id.task)
@@ -266,14 +359,12 @@ impl DarisScheduler {
         let context = if needs_admission {
             match self.admit(&task, job.priority, util, home) {
                 Some(ctx) => ctx,
-                None => {
-                    self.metrics.record_rejection(&job);
-                    return;
-                }
+                None => return false,
             }
         } else {
             home
         };
+        self.metrics.record_release(&job);
         if context != home && job.priority == Priority::Low {
             // Zero-delay migration: the task's home context moves with it.
             self.loads[home].unassign_task(task.id);
@@ -297,6 +388,82 @@ impl DarisScheduler {
         let ready = self.ready_stage(&active);
         self.queues[context].push(ready);
         self.active.insert(job.id, active);
+        true
+    }
+
+    /// Records `job` as rejected here. A cluster dispatcher calls this on the
+    /// job's home device after every retry device also refused it, so that
+    /// each job is accounted by exactly one device.
+    pub fn reject_job(&mut self, job: &Job) {
+        self.metrics.record_rejection(job);
+    }
+
+    /// Withdraws an admitted job whose *first* stage is still queued (nothing
+    /// dispatched yet), removing every trace of it — queue entry, active
+    /// state, load charge and metrics — and returns the job so it can be
+    /// re-released on another device. Returns `None` once any stage has been
+    /// dispatched: partially executed jobs never migrate across devices.
+    pub fn withdraw_queued_job(&mut self, job: JobId) -> Option<Job> {
+        let active = self.active.get(&job)?;
+        if active.next_stage != 0 {
+            return None;
+        }
+        let context = active.context;
+        if !self.queues[context].remove(job) {
+            // Stage 0 is already on a stream.
+            return None;
+        }
+        let active = self.active.remove(&job).expect("checked above");
+        self.loads[context].deactivate_job(job);
+        self.metrics.forget(job);
+        Some(active.job)
+    }
+
+    /// Jobs eligible for cross-device migration — admitted, first stage still
+    /// queued — least urgent (latest EDF deadline) first.
+    pub fn migratable_jobs(&self) -> Vec<JobId> {
+        let mut jobs: Vec<(SimTime, JobId)> = self
+            .queues
+            .iter()
+            .flat_map(StageQueue::iter)
+            .filter(|ready| ready.stage == 0)
+            .map(|ready| (ready.edf_deadline, ready.job))
+            .collect();
+        jobs.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        jobs.into_iter().map(|(_, job)| job).collect()
+    }
+
+    /// Total number of queued (undispatched) ready stages across contexts.
+    pub fn queue_backlog(&self) -> usize {
+        self.queues.iter().map(StageQueue::len).sum()
+    }
+
+    /// Number of currently idle streams across contexts.
+    pub fn idle_stream_count(&self) -> usize {
+        self.stream_busy.values().filter(|busy| !**busy).count()
+    }
+
+    /// Fraction of stream capacity charged by currently active jobs, the
+    /// load signal a cluster dispatcher uses to rank retry candidates.
+    pub fn active_load_fraction(&self) -> f64 {
+        let capacity: f64 = self.loads.iter().map(ContextLoad::capacity).sum();
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let active: f64 = self
+            .loads
+            .iter()
+            .map(|l| l.active_util(Priority::High) + l.active_util(Priority::Low))
+            .sum();
+        active / capacity
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    fn handle_release(&mut self, job: Job) {
+        if !self.try_release_job(job) {
+            self.reject_job(&job);
+        }
     }
 
     /// Admission test (Eq. 11–12) with migration: returns the context to run
@@ -555,6 +722,126 @@ mod tests {
         // Each completed job produced exactly one MRET window entry per task
         // (a single stage), so stage count seen by the estimator is 1.
         assert_eq!(scheduler.mret().stage_count(taskset.tasks()[0].id), 1);
+    }
+
+    #[test]
+    fn stepping_api_reproduces_run_until_exactly() {
+        // The external-driving API must be able to reproduce `run_until`
+        // byte for byte — this is the contract the cluster dispatcher's
+        // single-device equivalence rests on.
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0));
+        let horizon = SimTime::from_millis(200);
+
+        let mut reference = DarisScheduler::new(&taskset, config.clone()).unwrap();
+        let expected = reference.run_until(horizon);
+
+        let mut driven = DarisScheduler::new(&taskset, config).unwrap();
+        let plan = ArrivalPlan::generate(&taskset, horizon, ReleaseJitter::None);
+        let arrivals: Vec<Job> = plan.into_iter().collect();
+        let mut next = 0usize;
+        loop {
+            let next_release = arrivals.get(next).map(|j| j.release);
+            let step_to = match (next_release, driven.next_event_time()) {
+                (Some(r), Some(g)) => r.min(g),
+                (Some(r), None) => r,
+                (None, Some(g)) => g,
+                (None, None) => break,
+            };
+            if step_to > horizon {
+                break;
+            }
+            driven.advance_to(step_to);
+            while next < arrivals.len() && arrivals[next].release <= driven.now() {
+                let job = arrivals[next];
+                next += 1;
+                if !driven.try_release_job(job) {
+                    driven.reject_job(&job);
+                }
+            }
+            driven.dispatch_ready();
+        }
+        let actual = driven.finish(horizon);
+        assert_eq!(actual.summary, expected.summary);
+    }
+
+    #[test]
+    fn adopt_task_registers_a_guest_and_admits_its_jobs() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0));
+        let mut scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        let allocations_before = scheduler.gpu().memory().stats().allocations;
+
+        // Adopt a ResNet18 guest: new model kind, so weights get resident.
+        let guest = TaskSet::table2(DnnKind::ResNet18).tasks()[0].clone();
+        let local = scheduler.adopt_task(&guest).unwrap();
+        assert_eq!(local.index(), taskset.len());
+        assert_eq!(scheduler.gpu().memory().stats().allocations, allocations_before + 1);
+        assert!(scheduler.mret().task_mret(local) > SimDuration::ZERO);
+        assert!(scheduler.would_admit(local, Priority::High), "HP without HPA always admits");
+
+        // Releasing a job of the guest works end to end.
+        let mut job = guest.job(0);
+        job.id.task = local;
+        assert!(scheduler.try_release_job(job));
+        scheduler.dispatch_ready();
+        while let Some(t) = scheduler.next_event_time() {
+            scheduler.advance_to(t);
+            scheduler.dispatch_ready();
+        }
+        let outcome = scheduler.finish(SimTime::from_millis(100));
+        assert_eq!(outcome.summary.total.completed, 1);
+    }
+
+    #[test]
+    fn withdraw_queued_job_removes_all_traces() {
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        // One context, one stream: a second release at the same instant must
+        // queue behind the first.
+        let config = DarisConfig::new(GpuPartition::str_streams(1));
+        let mut scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        let t0 = taskset.tasks()[0].clone();
+        let t1 = taskset.tasks()[1].clone();
+        let j0 = t0.job(0);
+        let mut j1 = t1.job(0);
+        j1.release = j0.release;
+        assert!(scheduler.try_release_job(j0));
+        assert!(scheduler.try_release_job(j1));
+        scheduler.dispatch_ready();
+        // j0 occupies the only stream; j1 is queued and migratable.
+        assert_eq!(scheduler.queue_backlog(), 1);
+        assert_eq!(scheduler.idle_stream_count(), 0);
+        assert_eq!(scheduler.migratable_jobs(), vec![j1.id]);
+        assert!(scheduler.withdraw_queued_job(j0.id).is_none(), "dispatched jobs cannot migrate");
+        let withdrawn = scheduler.withdraw_queued_job(j1.id).expect("queued job withdraws");
+        assert_eq!(withdrawn.id, j1.id);
+        assert_eq!(scheduler.queue_backlog(), 0);
+        assert!(scheduler.withdraw_queued_job(j1.id).is_none(), "already withdrawn");
+        // The withdrawn job left no metric trace: only j0 is accounted.
+        let outcome = scheduler.finish(SimTime::from_millis(200));
+        assert_eq!(outcome.summary.total.released, 1);
+    }
+
+    #[test]
+    fn would_admit_matches_try_release_for_lp_jobs() {
+        // Saturate a tiny partition with LP activations, then check the
+        // exposed admission test agrees with the internal one.
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let config = DarisConfig::new(GpuPartition::mps(2, 1.0));
+        let mut scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        let lp_tasks: Vec<TaskSpec> =
+            taskset.tasks().iter().filter(|t| t.priority == Priority::Low).cloned().collect();
+        let mut disagreements = 0;
+        for t in &lp_tasks {
+            let predicted = scheduler.would_admit(t.id, Priority::Low);
+            let admitted = scheduler.try_release_job(t.job(0));
+            if predicted != admitted {
+                disagreements += 1;
+            }
+        }
+        assert_eq!(disagreements, 0);
+        // The saturated scheduler rejects at least one LP release.
+        assert!(lp_tasks.iter().any(|t| !scheduler.would_admit(t.id, Priority::Low)));
     }
 
     #[test]

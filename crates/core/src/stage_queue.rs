@@ -130,6 +130,22 @@ impl StageQueue {
         self.heap.peek().map(|q| &q.stage)
     }
 
+    /// Removes every queued stage of `job` (a job has at most one stage
+    /// queued at a time), returning whether anything was removed. Used when a
+    /// cluster dispatcher withdraws a queued job for migration.
+    pub fn remove(&mut self, job: JobId) -> bool {
+        let before = self.heap.len();
+        let retained: Vec<QueuedStage> = self.heap.drain().filter(|q| q.stage.job != job).collect();
+        let removed = retained.len() != before;
+        self.heap = retained.into();
+        removed
+    }
+
+    /// Iterates over the queued stages in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReadyStage> {
+        self.heap.iter().map(|q| &q.stage)
+    }
+
     /// Number of queued stages.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -228,6 +244,19 @@ mod tests {
         q.push(stage(4, Priority::High, true, true, 90));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|s| s.job.task.0).collect();
         assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn remove_extracts_one_job_and_preserves_order() {
+        let mut q = StageQueue::new(AblationFlags::full());
+        q.push(stage(1, Priority::High, false, false, 10));
+        q.push(stage(2, Priority::High, false, false, 20));
+        q.push(stage(3, Priority::High, false, false, 30));
+        assert!(q.remove(JobId { task: TaskId(2), release_index: 0 }));
+        assert!(!q.remove(JobId { task: TaskId(9), release_index: 0 }));
+        assert_eq!(q.iter().count(), 2);
+        assert_eq!(q.pop().unwrap().job.task, TaskId(1));
+        assert_eq!(q.pop().unwrap().job.task, TaskId(3));
     }
 
     #[test]

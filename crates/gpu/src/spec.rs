@@ -101,6 +101,63 @@ impl GpuSpec {
         }
     }
 
+    /// A data-center A100 (SXM/PCIe 40 GB): 108 SMs, PCIe 4.0 x16 host link
+    /// (~24 GB/s effective). The larger L2 and HBM bandwidth show up as a
+    /// milder interference model than the consumer RTX 2080 Ti.
+    pub fn a100() -> Self {
+        GpuSpec {
+            sm_count: 108,
+            memory_bytes: 40 * 1024 * 1024 * 1024,
+            copy_bandwidth_bytes_per_us: 24_000.0,
+            copy_latency: SimDuration::from_micros(6),
+            default_launch_overhead: SimDuration::from_micros(4),
+            interference: InterferenceModel {
+                per_context_penalty: 0.008,
+                oversubscription_penalty: 0.015,
+                work_jitter: 0.03,
+            },
+            jitter_seed: 0x5eed_a100,
+        }
+    }
+
+    /// A data-center H100 (80 GB): 132 SMs, PCIe 5.0 x16 host link (~50 GB/s
+    /// effective), the gentlest interference model of the presets.
+    pub fn h100() -> Self {
+        GpuSpec {
+            sm_count: 132,
+            memory_bytes: 80 * 1024 * 1024 * 1024,
+            copy_bandwidth_bytes_per_us: 50_000.0,
+            copy_latency: SimDuration::from_micros(5),
+            default_launch_overhead: SimDuration::from_micros(3),
+            interference: InterferenceModel {
+                per_context_penalty: 0.006,
+                oversubscription_penalty: 0.012,
+                work_jitter: 0.025,
+            },
+            jitter_seed: 0x5eed_4100,
+        }
+    }
+
+    /// An embedded Jetson Orin-class device: 16 SMs on shared LPDDR5 memory.
+    /// Contention on the shared memory system makes colocation noticeably
+    /// more expensive than on the discrete cards, and the weaker host CPU
+    /// shows up as higher copy/launch latencies.
+    pub fn orin() -> Self {
+        GpuSpec {
+            sm_count: 16,
+            memory_bytes: 32 * 1024 * 1024 * 1024,
+            copy_bandwidth_bytes_per_us: 10_000.0,
+            copy_latency: SimDuration::from_micros(10),
+            default_launch_overhead: SimDuration::from_micros(10),
+            interference: InterferenceModel {
+                per_context_penalty: 0.025,
+                oversubscription_penalty: 0.05,
+                work_jitter: 0.06,
+            },
+            jitter_seed: 0x5eed_0419,
+        }
+    }
+
     /// A small embedded-class GPU without MPS-scale resources (useful in
     /// tests and in the embedded example; the paper notes that on such GPUs
     /// only the STR policy is feasible).
@@ -159,6 +216,28 @@ mod tests {
         assert!(e2 < e1);
         assert!(e3 < e2);
         assert!(e3 > 0.0);
+    }
+
+    #[test]
+    fn fleet_presets_are_distinct_and_ordered_by_class() {
+        let rtx = GpuSpec::rtx_2080_ti();
+        let a100 = GpuSpec::a100();
+        let h100 = GpuSpec::h100();
+        let orin = GpuSpec::orin();
+        // SM counts: embedded < consumer < A100 < H100.
+        assert!(orin.sm_count < rtx.sm_count);
+        assert!(rtx.sm_count < a100.sm_count);
+        assert!(a100.sm_count < h100.sm_count);
+        // Interference gets milder with the device class.
+        assert!(h100.interference.per_context_penalty < a100.interference.per_context_penalty);
+        assert!(a100.interference.per_context_penalty < rtx.interference.per_context_penalty);
+        assert!(orin.interference.per_context_penalty > rtx.interference.per_context_penalty);
+        // Distinct default jitter seeds keep fleet devices decorrelated.
+        let seeds = [rtx.jitter_seed, a100.jitter_seed, h100.jitter_seed, orin.jitter_seed];
+        let mut unique = seeds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl MetricsCollector {
         }
     }
 
+    /// Forgets a job entirely, as if it had never been released here. Used
+    /// when a queued job migrates away (another collector takes ownership of
+    /// its outcome); a job must not be counted by two collectors at once.
+    pub fn forget(&mut self, job: JobId) {
+        self.jobs.remove(&job);
+    }
+
     /// Number of jobs recorded so far.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -185,6 +192,30 @@ pub struct PrioritySummary {
     pub response: ResponseStats,
 }
 
+impl PrioritySummary {
+    /// Merges outcome counts from runs over *disjoint* job populations (e.g.
+    /// the per-device summaries of a cluster run). Counts add up exactly; the
+    /// miss rate is recomputed from the merged counts; response statistics
+    /// merge per [`ResponseStats::merged`].
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a PrioritySummary>) -> PrioritySummary {
+        let mut out = PrioritySummary::default();
+        let mut responses = Vec::new();
+        for p in parts {
+            out.released += p.released;
+            out.accepted += p.accepted;
+            out.rejected += p.rejected;
+            out.completed += p.completed;
+            out.completed_inferences += p.completed_inferences;
+            out.deadline_misses += p.deadline_misses;
+            responses.push(&p.response);
+        }
+        out.deadline_miss_rate =
+            if out.accepted == 0 { 0.0 } else { out.deadline_misses as f64 / out.accepted as f64 };
+        out.response = ResponseStats::merged(responses);
+        out
+    }
+}
+
 impl Default for PrioritySummary {
     fn default() -> Self {
         Accumulator::default().finish()
@@ -286,6 +317,49 @@ mod tests {
         assert_eq!(s.total.completed, 1);
         assert_eq!(s.total.completed_inferences, 4);
         assert!((s.throughput_jps - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forget_removes_a_job_from_the_accounting() {
+        let tasks = tasks();
+        let j = tasks[0].job(0);
+        let mut m = MetricsCollector::new();
+        m.record_release(&j);
+        assert_eq!(m.len(), 1);
+        m.forget(j.id);
+        assert!(m.is_empty());
+        let s = m.summarize(SimTime::from_millis(1000));
+        assert_eq!(s.total.released, 0);
+        assert_eq!(s.total.deadline_misses, 0);
+    }
+
+    #[test]
+    fn merged_priority_summaries_add_counts_and_recompute_rates() {
+        let tasks = tasks();
+        let t = &tasks[0];
+        let build = |missed: bool| {
+            let mut m = MetricsCollector::new();
+            let j = t.job(0);
+            m.record_release(&j);
+            let finish = if missed {
+                j.absolute_deadline + SimDuration::from_millis(1)
+            } else {
+                j.release + SimDuration::from_millis(1)
+            };
+            m.record_completion(&j, finish);
+            m.summarize(SimTime::from_millis(500)).high
+        };
+        let on_time = build(false);
+        let late = build(true);
+        let merged = PrioritySummary::merged([&on_time, &late]);
+        assert_eq!(merged.released, 2);
+        assert_eq!(merged.completed, 2);
+        assert_eq!(merged.deadline_misses, 1);
+        assert!((merged.deadline_miss_rate - 0.5).abs() < 1e-9);
+        assert_eq!(merged.response.count, 2);
+        let empty = PrioritySummary::merged([]);
+        assert_eq!(empty.released, 0);
+        assert_eq!(empty.deadline_miss_rate, 0.0);
     }
 
     #[test]

@@ -41,6 +41,45 @@ impl ResponseStats {
         }
     }
 
+    /// Merges statistics computed over disjoint sample sets (e.g. one per
+    /// cluster device). Counts, extrema and the mean merge exactly;
+    /// percentiles are approximated by a count-weighted average since the raw
+    /// samples are no longer available.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a ResponseStats>) -> Self {
+        let non_empty: Vec<&ResponseStats> = parts.into_iter().filter(|s| s.count > 0).collect();
+        // A single contributing part merges to exactly itself (the weighted
+        // averages below would round-trip its values through `x * n / n`).
+        if let [only] = non_empty.as_slice() {
+            return **only;
+        }
+        let mut out = ResponseStats::empty();
+        let mut min = f64::INFINITY;
+        let mut mean_sum = 0.0;
+        let mut p50_sum = 0.0;
+        let mut p95_sum = 0.0;
+        let mut p99_sum = 0.0;
+        for s in non_empty {
+            let n = s.count as f64;
+            out.count += s.count;
+            min = min.min(s.min_ms);
+            out.max_ms = out.max_ms.max(s.max_ms);
+            mean_sum += s.mean_ms * n;
+            p50_sum += s.p50_ms * n;
+            p95_sum += s.p95_ms * n;
+            p99_sum += s.p99_ms * n;
+        }
+        if out.count == 0 {
+            return ResponseStats::empty();
+        }
+        let total = out.count as f64;
+        out.min_ms = min;
+        out.mean_ms = mean_sum / total;
+        out.p50_ms = p50_sum / total;
+        out.p95_ms = p95_sum / total;
+        out.p99_ms = p99_sum / total;
+        out
+    }
+
     /// Computes statistics from raw millisecond samples.
     pub fn from_millis(samples: &[f64]) -> Self {
         if samples.is_empty() {
@@ -104,6 +143,22 @@ mod tests {
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
         assert_eq!(s.max_ms, 100.0);
         assert!((s.p95_ms - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn merged_combines_disjoint_sample_sets() {
+        let a = ResponseStats::from_millis(&[10.0, 20.0]);
+        let b = ResponseStats::from_millis(&[40.0, 50.0, 60.0]);
+        let m = ResponseStats::merged([&a, &b]);
+        assert_eq!(m.count, 5);
+        assert_eq!(m.min_ms, 10.0);
+        assert_eq!(m.max_ms, 60.0);
+        // Exact weighted mean: (15*2 + 50*3) / 5 = 36.
+        assert!((m.mean_ms - 36.0).abs() < 1e-9);
+        // Empty parts are ignored entirely.
+        let with_empty = ResponseStats::merged([&a, &ResponseStats::empty()]);
+        assert_eq!(with_empty, a);
+        assert_eq!(ResponseStats::merged([]), ResponseStats::empty());
     }
 
     #[test]

@@ -113,15 +113,27 @@ impl TaskSet {
     ///
     /// Panics if `kind` is `ResNet50`, which Table II does not include.
     pub fn table2(kind: DnnKind) -> TaskSet {
+        TaskSet::table2_scaled(kind, 1)
+    }
+
+    /// The Table II task set for `kind` with both priority classes scaled by
+    /// `factor` — the oversized fleet workloads of the cluster experiments
+    /// (`factor` devices' worth of the paper's standing 150 % overload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is `ResNet50` (see [`table2`](Self::table2)).
+    pub fn table2_scaled(kind: DnnKind, factor: u32) -> TaskSet {
         let (hp, lp, jps) = match kind {
             DnnKind::ResNet18 => (17, 34, 30.0),
             DnnKind::UNet => (5, 10, 24.0),
             DnnKind::InceptionV3 => (9, 18, 24.0),
             DnnKind::ResNet50 => panic!("Table II does not define a ResNet50 task set"),
         };
+        let factor = factor.max(1);
         TaskSetBuilder::new()
-            .add_tasks(kind, hp, jps, Priority::High)
-            .add_tasks(kind, lp, jps, Priority::Low)
+            .add_tasks(kind, hp * factor, jps, Priority::High)
+            .add_tasks(kind, lp * factor, jps, Priority::Low)
             .build()
     }
 
@@ -175,6 +187,17 @@ impl TaskSet {
     /// All tasks in id order.
     pub fn tasks(&self) -> &[TaskSpec] {
         &self.tasks
+    }
+
+    /// Appends a task to the set, reassigning its id to keep the
+    /// id-equals-index invariant, and returns the assigned id. This is how a
+    /// scheduler registers a *guest* task that was placed elsewhere but is
+    /// being admitted or migrated here by a cluster dispatcher.
+    pub fn adopt(&mut self, mut task: TaskSpec) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        task.id = id;
+        self.tasks.push(task);
+        id
     }
 
     /// Number of tasks.
@@ -275,6 +298,21 @@ mod tests {
     }
 
     #[test]
+    fn table2_scaled_multiplies_both_classes() {
+        let base = TaskSet::table2(DnnKind::ResNet18);
+        let scaled = TaskSet::table2_scaled(DnnKind::ResNet18, 4);
+        assert_eq!(scaled.len(), 4 * base.len());
+        assert_eq!(scaled.count(Priority::High), 4 * base.count(Priority::High));
+        assert!((scaled.offered_jps() - 4.0 * base.offered_jps()).abs() < 1e-6);
+        // Factor 0 clamps to 1.
+        assert_eq!(TaskSet::table2_scaled(DnnKind::UNet, 0).len(), base_len_unet());
+    }
+
+    fn base_len_unet() -> usize {
+        TaskSet::table2(DnnKind::UNet).len()
+    }
+
+    #[test]
     fn mixed_set_contains_all_three_models() {
         let ts = TaskSet::mixed();
         assert_eq!(ts.model_kinds().len(), 3);
@@ -317,6 +355,20 @@ mod tests {
         let ts = TaskSet::mixed().with_paper_batch_sizes();
         for t in ts.tasks() {
             assert_eq!(t.batch_size, t.model.paper_batch_size());
+        }
+    }
+
+    #[test]
+    fn adopt_reassigns_the_id_and_keeps_the_index_invariant() {
+        let mut ts = TaskSet::table2(DnnKind::UNet);
+        let n = ts.len();
+        let foreign = TaskSet::table2(DnnKind::ResNet18).tasks()[0].clone();
+        let id = ts.adopt(foreign);
+        assert_eq!(id.index(), n);
+        assert_eq!(ts.len(), n + 1);
+        assert_eq!(ts.task(id).unwrap().model, DnnKind::ResNet18);
+        for (i, t) in ts.tasks().iter().enumerate() {
+            assert_eq!(t.id.index(), i);
         }
     }
 

@@ -9,12 +9,15 @@
 //! * [`workload`] — periodic real-time task sets (Table II and variants).
 //! * [`metrics`] — throughput, deadline-miss and response-time metrics.
 //! * [`core`] — the DARIS scheduler itself.
+//! * [`cluster`] — fleet scheduling: heterogeneous multi-GPU clusters,
+//!   placement, cluster-wide admission and migration.
 //! * [`baselines`] — single-tenant, batching, GSlice-like and FIFO baselines.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
 
 pub use daris_baselines as baselines;
+pub use daris_cluster as cluster;
 pub use daris_core as core;
 pub use daris_gpu as gpu;
 pub use daris_metrics as metrics;

@@ -5,19 +5,19 @@
 //! friendly; the full-length numbers live in `EXPERIMENTS.md`.
 
 use daris::baselines::{BatchingServer, FifoMultiStreamServer, SingleTenantServer};
+use daris::cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStrategy};
 use daris::core::{AblationFlags, DarisConfig, DarisScheduler, GpuPartition};
-use daris::gpu::SimTime;
+use daris::gpu::{GpuSpec, SimTime};
 use daris::models::{DnnKind, ModelProfile};
 use daris::workload::{Priority, TaskSet};
 
 /// Each test picks the shortest horizon at which its claim holds
 /// deterministically; `DARIS_HORIZON_MS` caps them all for quick smoke runs
-/// (the claims below are robust down to ~200 ms).
+/// (the claims below are robust down to ~200 ms). Parsing of the variable —
+/// including the loud rejection of malformed values — lives in one place,
+/// `daris_bench::horizon_capped_ms`.
 fn horizon_ms(default: u64) -> u64 {
-    match std::env::var("DARIS_HORIZON_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
-        Some(cap) => default.min(cap.max(50)),
-        None => default,
-    }
+    daris_bench::horizon_capped_ms(default)
 }
 
 fn run_daris(
@@ -209,6 +209,34 @@ fn pure_batching_misses_deadlines_that_daris_avoids() {
         daris.summary.high.deadline_miss_rate,
         batching.of(Priority::High).deadline_miss_rate
     );
+}
+
+#[test]
+fn cluster_facade_scales_the_fleet_headline_claim() {
+    // The cluster layer's headline claim through the facade: two devices
+    // out-serve one on an oversized workload, with HP protection intact.
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 2);
+    let horizon = SimTime::from_millis(horizon_ms(250));
+    let run = |n: usize| {
+        let fleet = ClusterSpec::homogeneous(n, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+        // Greedy balance spreads the high-priority tasks across the fleet
+        // (first-fit would concentrate them on device 0, trading HP
+        // protection for consolidation).
+        let config =
+            ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
+        let mut dispatcher =
+            ClusterDispatcher::new(&taskset, fleet, config).expect("dispatcher builds");
+        dispatcher.run_until(horizon).summary
+    };
+    let one = run(1);
+    let two = run(2);
+    assert!(
+        two.throughput_jps > 1.5 * one.throughput_jps,
+        "2 devices {:.0} JPS should far exceed 1 device {:.0} JPS",
+        two.throughput_jps,
+        one.throughput_jps
+    );
+    assert!(two.high.deadline_miss_rate < 0.02, "HP DMR {}", two.high.deadline_miss_rate);
 }
 
 #[test]
