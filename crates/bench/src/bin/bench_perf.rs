@@ -1,0 +1,76 @@
+//! Perf harness: times representative single-device and cluster simulation
+//! sections and writes a perf-run JSON (wall-clock ms, events/sec, peak RSS).
+//! The repository's recorded trajectory lives in the committed
+//! `BENCH_sim_core.json`; this tool writes to a scratch path by default so a
+//! local re-measure never clobbers it — append noteworthy runs to the
+//! committed file by hand (it is the same one-run-object schema).
+//!
+//! Usage:
+//!
+//! ```sh
+//! bench_perf [--label TEXT] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! * `--label`  — run label embedded in the JSON (default: "current").
+//! * `--out`    — output path (default: `BENCH_sim_core.local.json`,
+//!   git-ignored; `-` skips writing).
+//! * `--check`  — compare against a checked-in baseline and exit non-zero if
+//!   any section's events/sec fell more than 3× below it (the CI smoke gate).
+//!
+//! The simulated horizon per section comes from `DARIS_HORIZON_MS`
+//! (default 1500 ms; CI uses a short horizon).
+
+use std::process::ExitCode;
+
+use daris_bench::perf::{regression_failures, run_perf, runs_to_json};
+
+fn main() -> ExitCode {
+    let mut label = "current".to_owned();
+    let mut out = "BENCH_sim_core.local.json".to_owned();
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match arg.as_str() {
+            "--label" => label = value("--label"),
+            "--out" => out = value("--out"),
+            "--check" => check = Some(value("--check")),
+            other => panic!("unknown argument {other:?} (see the bin docs)"),
+        }
+    }
+
+    let horizon = daris_bench::horizon();
+    eprintln!("bench_perf: running sections at horizon {horizon} ...");
+    let run = run_perf(&label, horizon);
+    for s in &run.sections {
+        eprintln!(
+            "  {:<24} {:>9.1} ms  {:>12.0} events/s  {:>6} jobs",
+            s.name, s.wall_ms, s.events_per_sec, s.completed_jobs
+        );
+    }
+    eprintln!("  peak RSS: {:.1} MiB", run.peak_rss_bytes as f64 / (1024.0 * 1024.0));
+
+    if out != "-" {
+        std::fs::write(&out, runs_to_json(std::slice::from_ref(&run)))
+            .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        eprintln!("bench_perf: wrote {out}");
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let failures = regression_failures(&run, &baseline);
+        if !failures.is_empty() {
+            for (name, measured, floor) in &failures {
+                eprintln!(
+                    "bench_perf: REGRESSION in {name}: {measured:.0} events/s is below the \
+                     3x-regression floor of {floor:.0} (baseline {baseline_path})"
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_perf: all sections within 3x of {baseline_path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod perf;
+
 use daris_baselines::{BatchingServer, FifoMultiStreamServer, GsliceServer, SingleTenantServer};
 use daris_cluster::{
     ClusterConfig, ClusterDispatcher, ClusterOutcome, ClusterSpec, PlacementStrategy,

@@ -1,0 +1,261 @@
+//! The `bench_perf` harness: wall-clock timing of representative simulation
+//! sections, persisted as `BENCH_sim_core.json` so the repository carries a
+//! recorded perf trajectory (and CI can gate on regressions).
+//!
+//! Sections cover both simulation layers the event-calendar core accelerates:
+//! single-device `reproduce_all`-style experiments and the `cluster_scaling`
+//! sweep at 1/2/4/8 devices. Each section reports wall-clock milliseconds,
+//! simulated events processed, events per wall-second, and completed jobs;
+//! each run additionally records the process peak RSS.
+//!
+//! No serde is available offline, so the JSON is emitted by hand and the
+//! baseline checker parses the one-key-per-line format this module writes.
+
+use std::time::Instant;
+
+use daris_cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStrategy};
+use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
+use daris_gpu::{GpuSpec, SimTime};
+use daris_models::DnnKind;
+use daris_workload::TaskSet;
+
+use crate::cluster_taskset;
+
+/// One timed section of the perf harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionResult {
+    /// Stable section name (the baseline gate keys on it).
+    pub name: String,
+    /// Wall-clock milliseconds spent simulating.
+    pub wall_ms: f64,
+    /// Simulated GPU events processed (state transitions fired).
+    pub events: u64,
+    /// `events / wall seconds` — the throughput figure the CI gate checks.
+    pub events_per_sec: f64,
+    /// Jobs completed across the section, a sanity anchor for the numbers.
+    pub completed_jobs: u64,
+}
+
+/// One full harness run: every section at a common horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRun {
+    /// Human label, e.g. `"event-calendar engine"`.
+    pub label: String,
+    /// Simulated horizon per section, in milliseconds.
+    pub horizon_ms: u64,
+    /// Process peak RSS in bytes after all sections ran (0 if unavailable).
+    pub peak_rss_bytes: u64,
+    /// The timed sections.
+    pub sections: Vec<SectionResult>,
+}
+
+fn time_section(name: &str, f: impl FnOnce() -> (u64, u64)) -> SectionResult {
+    let start = Instant::now();
+    let (events, completed_jobs) = f();
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    SectionResult {
+        name: name.to_owned(),
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        completed_jobs,
+    }
+}
+
+fn single_device_section(name: &str, taskset: &TaskSet, horizon: SimTime) -> SectionResult {
+    let taskset = taskset.clone();
+    time_section(name, move || {
+        let mut scheduler =
+            DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)))
+                .expect("valid perf section configuration");
+        let outcome = scheduler.run_until(horizon);
+        (scheduler.events_processed(), outcome.summary.total.completed as u64)
+    })
+}
+
+fn cluster_section(name: &str, devices: usize, horizon: SimTime) -> SectionResult {
+    time_section(name, move || {
+        let taskset = cluster_taskset();
+        let fleet =
+            ClusterSpec::homogeneous(devices, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+        let config =
+            ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
+        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, config)
+            .expect("valid perf cluster configuration");
+        let outcome = dispatcher.run_until(horizon);
+        (dispatcher.events_processed(), outcome.summary.total.completed as u64)
+    })
+}
+
+/// Runs every perf section at `horizon` and returns the labelled run.
+pub fn run_perf(label: &str, horizon: SimTime) -> PerfRun {
+    let sections = vec![
+        single_device_section(
+            "single_resnet18_mps6x6",
+            &TaskSet::table2(DnnKind::ResNet18),
+            horizon,
+        ),
+        single_device_section("single_unet_mps6x6", &TaskSet::table2(DnnKind::UNet), horizon),
+        cluster_section("cluster_scaling_1dev", 1, horizon),
+        cluster_section("cluster_scaling_2dev", 2, horizon),
+        cluster_section("cluster_scaling_4dev", 4, horizon),
+        cluster_section("cluster_scaling_8dev", 8, horizon),
+    ];
+    PerfRun {
+        label: label.to_owned(),
+        horizon_ms: (horizon.as_millis_f64()) as u64,
+        peak_rss_bytes: peak_rss_bytes(),
+        sections,
+    }
+}
+
+/// Process peak resident set size in bytes (`VmHWM` on Linux, 0 elsewhere).
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 =
+                        rest.trim().trim_end_matches("kB").trim().parse().unwrap_or_default();
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Serializes a run as a JSON object, one key per line (the format
+/// [`parse_sections`] understands).
+pub fn run_to_json(run: &PerfRun, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let mut out = String::new();
+    out.push_str(&format!("{pad}{{\n"));
+    out.push_str(&format!("{pad}  \"label\": \"{}\",\n", run.label));
+    out.push_str(&format!("{pad}  \"horizon_ms\": {},\n", run.horizon_ms));
+    out.push_str(&format!("{pad}  \"peak_rss_bytes\": {},\n", run.peak_rss_bytes));
+    out.push_str(&format!("{pad}  \"sections\": [\n"));
+    for (i, s) in run.sections.iter().enumerate() {
+        let comma = if i + 1 < run.sections.len() { "," } else { "" };
+        out.push_str(&format!("{pad}    {{\n"));
+        out.push_str(&format!("{pad}      \"name\": \"{}\",\n", s.name));
+        out.push_str(&format!("{pad}      \"wall_ms\": {:.3},\n", s.wall_ms));
+        out.push_str(&format!("{pad}      \"events\": {},\n", s.events));
+        out.push_str(&format!("{pad}      \"events_per_sec\": {:.1},\n", s.events_per_sec));
+        out.push_str(&format!("{pad}      \"completed_jobs\": {}\n", s.completed_jobs));
+        out.push_str(&format!("{pad}    }}{comma}\n"));
+    }
+    out.push_str(&format!("{pad}  ]\n"));
+    out.push_str(&format!("{pad}}}"));
+    out
+}
+
+/// Wraps runs into the top-level `BENCH_sim_core.json` document.
+pub fn runs_to_json(runs: &[PerfRun]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"daris simulation core\",\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str(&run_to_json(run, 4));
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `(name, events_per_sec)` pairs from a JSON document written by
+/// [`runs_to_json`] (or any JSON that keeps `"name"` and `"events_per_sec"`
+/// on their own lines, in that order within each section).
+pub fn parse_sections(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            current = rest.split('"').next().map(str::to_owned);
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\": ") {
+            if let (Some(name), Ok(v)) = (current.take(), rest.trim_end_matches(',').parse::<f64>())
+            {
+                out.push((name, v));
+            }
+        }
+    }
+    out
+}
+
+/// Compares a fresh run against a checked-in baseline: returns the failures
+/// (section, measured, floor) where measured events/sec fell more than 3×
+/// below the baseline. Sections missing from either side are skipped.
+pub fn regression_failures(run: &PerfRun, baseline_json: &str) -> Vec<(String, f64, f64)> {
+    let baseline = parse_sections(baseline_json);
+    let mut failures = Vec::new();
+    for (name, base_eps) in baseline {
+        let Some(section) = run.sections.iter().find(|s| s.name == name) else { continue };
+        let floor = base_eps / 3.0;
+        if section.events_per_sec < floor {
+            failures.push((name, section.events_per_sec, floor));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> PerfRun {
+        PerfRun {
+            label: "test".into(),
+            horizon_ms: 50,
+            peak_rss_bytes: 1024,
+            sections: vec![
+                SectionResult {
+                    name: "a".into(),
+                    wall_ms: 10.0,
+                    events: 1000,
+                    events_per_sec: 100_000.0,
+                    completed_jobs: 5,
+                },
+                SectionResult {
+                    name: "b".into(),
+                    wall_ms: 5.0,
+                    events: 100,
+                    events_per_sec: 20_000.0,
+                    completed_jobs: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let doc = runs_to_json(&[sample_run()]);
+        let parsed = parse_sections(&doc);
+        assert_eq!(parsed, vec![("a".to_owned(), 100_000.0), ("b".to_owned(), 20_000.0)]);
+    }
+
+    #[test]
+    fn regression_gate_uses_a_3x_floor() {
+        let run = sample_run();
+        let baseline = runs_to_json(&[sample_run()]);
+        assert!(regression_failures(&run, &baseline).is_empty(), "same numbers pass");
+
+        let mut slow = sample_run();
+        slow.sections[0].events_per_sec = 100_000.0 / 3.1;
+        let failures = regression_failures(&slow, &baseline);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "a");
+
+        let mut fine = sample_run();
+        fine.sections[0].events_per_sec = 100_000.0 / 2.9;
+        assert!(regression_failures(&fine, &baseline).is_empty(), "within 3x passes");
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_by_the_gate() {
+        let mut run = sample_run();
+        run.sections.remove(1);
+        let baseline = runs_to_json(&[sample_run()]);
+        assert!(regression_failures(&run, &baseline).is_empty());
+    }
+}

@@ -1,11 +1,26 @@
-//! The cluster dispatcher: one DARIS scheduler per device, stepped in
-//! lockstep on a single global arrival plan.
+//! The cluster dispatcher: one DARIS scheduler per device, driven by a
+//! cluster-level **event calendar** on a single global arrival stream.
 //!
 //! The dispatcher is deliberately built from the *public* stepping API of
 //! [`DarisScheduler`] (`advance_to` / `try_release_job` / `dispatch_ready` /
 //! `finish`), issuing exactly the call sequence `run_until` issues
 //! internally — which is why a single-device cluster reproduces the
 //! single-GPU path bit for bit (a property test pins this down).
+//!
+//! # Wake-up protocol
+//!
+//! The run loop keeps a min-heap of `(next_event_time, device, epoch)`
+//! entries — one live entry per device with pending simulator work — and per
+//! round advances **only** the devices whose entry is due (plus, lazily, any
+//! device a release or migration is about to touch, caught up via
+//! [`ClusterDispatcher::catch_up`]). Idle devices are never polled or
+//! lockstep-advanced; their clocks trail behind and are fast-forwarded in one
+//! jump the next time an event, release, or migration lands on them (a
+//! trailing clock is unobservable: every scheduler decision — admission,
+//! queue backlog, idle streams, load fractions — is state-based, not
+//! clock-based, and `finish` aligns every device at the horizon). Entries are
+//! invalidated lazily by bumping the device's epoch after a round touches it,
+//! exactly like the GPU engine's item epochs.
 //!
 //! On top of per-device DARIS it adds two cluster-only behaviours:
 //!
@@ -18,12 +33,13 @@
 //!   that have not started their first stage are pulled from devices with a
 //!   backlog and no idle streams onto devices that are sitting idle.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
 use daris_gpu::{GpuSpec, SimTime};
 use daris_metrics::MetricsCollector;
-use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskId, TaskSet};
+use daris_workload::{ArrivalStream, Job, TaskId, TaskSet};
 
 use crate::{
     place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
@@ -179,21 +195,44 @@ impl ClusterDispatcher {
         &self.placement
     }
 
+    /// Simulated GPU events processed across the whole fleet so far.
+    pub fn events_processed(&self) -> u64 {
+        self.devices
+            .iter()
+            .filter_map(|d| d.scheduler.as_ref())
+            .map(DarisScheduler::events_processed)
+            .sum()
+    }
+
     /// Runs the fleet until `horizon` and returns per-device and aggregate
     /// outcomes. Call once per dispatcher.
     pub fn run_until(&mut self, horizon: SimTime) -> ClusterOutcome {
-        let plan = ArrivalPlan::generate(&self.taskset, horizon, ReleaseJitter::None);
-        let arrivals: Vec<Job> = plan.jobs().to_vec();
-        let mut next_arrival = 0usize;
+        // Arrivals are pulled lazily (O(tasks) memory, not O(horizon)).
+        let taskset = self.taskset.clone();
+        let mut arrivals = ArrivalStream::new(&taskset, horizon);
+
+        // The cluster calendar: at most one *live* `(time, device, epoch)`
+        // entry per device; stale epochs are discarded when they surface.
+        let mut calendar: BinaryHeap<Reverse<(SimTime, usize, u64)>> = BinaryHeap::new();
+        let mut epochs: Vec<u64> = vec![0; self.devices.len()];
+        for (d, device) in self.devices.iter().enumerate() {
+            if let Some(t) = device.scheduler.as_ref().and_then(DarisScheduler::next_event_time) {
+                calendar.push(Reverse((t, d, 0)));
+            }
+        }
+        let mut touched: Vec<bool> = vec![false; self.devices.len()];
 
         loop {
-            let next_release = arrivals.get(next_arrival).map(|j| j.release);
-            let gpu_next = self
-                .devices
-                .iter()
-                .filter_map(|d| d.scheduler.as_ref().and_then(DarisScheduler::next_event_time))
-                .min();
-            let step_to = match (next_release, gpu_next) {
+            let cluster_next = loop {
+                match calendar.peek() {
+                    Some(&Reverse((_, d, e))) if e != epochs[d] => {
+                        calendar.pop();
+                    }
+                    Some(&Reverse((t, _, _))) => break Some(t),
+                    None => break None,
+                }
+            };
+            let step_to = match (arrivals.next_release(), cluster_next) {
                 (Some(r), Some(g)) => r.min(g),
                 (Some(r), None) => r,
                 (None, Some(g)) => g,
@@ -202,23 +241,48 @@ impl ClusterDispatcher {
             if step_to > horizon {
                 break;
             }
-            for device in &mut self.devices {
-                if let Some(scheduler) = device.scheduler.as_mut() {
-                    scheduler.advance_to(step_to);
+            touched.iter_mut().for_each(|t| *t = false);
+
+            // Advance only the devices with an event due at `step_to`.
+            while let Some(&Reverse((t, d, e))) = calendar.peek() {
+                if e != epochs[d] {
+                    calendar.pop();
+                    continue;
                 }
+                if t > step_to {
+                    break;
+                }
+                calendar.pop();
+                self.catch_up(d, step_to);
+                touched[d] = true;
             }
-            while next_arrival < arrivals.len() && arrivals[next_arrival].release <= step_to {
-                let job = arrivals[next_arrival];
-                next_arrival += 1;
-                self.route_release(job);
+            while arrivals.next_release().map(|r| r <= step_to).unwrap_or(false) {
+                let job = arrivals.next().expect("a pending release was peeked");
+                self.route_release(job, step_to, &mut touched);
             }
-            for device in &mut self.devices {
+            // Untouched devices cannot have dispatchable work: their queues
+            // and stream occupancy only change when an event, release, or
+            // migration touches them.
+            for (device, _) in
+                self.devices.iter_mut().zip(&touched).filter(|(_, touched)| **touched)
+            {
                 if let Some(scheduler) = device.scheduler.as_mut() {
                     scheduler.dispatch_ready();
                 }
             }
             if self.config.migration {
-                self.rebalance();
+                self.rebalance(step_to, &mut touched);
+            }
+            // Re-arm the calendar for every device this round touched.
+            for (d, device) in self.devices.iter().enumerate() {
+                if !touched[d] {
+                    continue;
+                }
+                epochs[d] += 1;
+                if let Some(t) = device.scheduler.as_ref().and_then(DarisScheduler::next_event_time)
+                {
+                    calendar.push(Reverse((t, d, epochs[d])));
+                }
             }
         }
 
@@ -250,11 +314,24 @@ impl ClusterDispatcher {
         ClusterOutcome { summary, devices: outcomes }
     }
 
+    /// Fast-forwards a trailing device's clock to `to` (a no-op for devices
+    /// that are already current). Devices are only caught up when an event,
+    /// release, or migration actually lands on them, so idle devices cost
+    /// nothing per round.
+    fn catch_up(&mut self, device: usize, to: SimTime) {
+        if let Some(scheduler) = self.devices[device].scheduler.as_mut() {
+            if scheduler.now() < to {
+                scheduler.advance_to(to);
+            }
+        }
+    }
+
     /// Routes one release: home device first, then (for jobs the home
     /// admission test rejects) every other device in ascending-load order;
     /// only when the whole fleet refuses is the rejection recorded — on the
-    /// home device, so each job is accounted exactly once.
-    fn route_release(&mut self, job: Job) {
+    /// home device, so each job is accounted exactly once. Every device the
+    /// release touches is caught up to `now` first and marked in `touched`.
+    fn route_release(&mut self, job: Job, now: SimTime, touched: &mut [bool]) {
         let global = job.id.task.index();
         let Some(home) = self.placement.device_of[global] else {
             self.unplaced.record_rejection(&job);
@@ -262,6 +339,8 @@ impl ClusterDispatcher {
         };
         let home_local = self.devices[home].local_of_global[&global];
         let home_job = localize(job, home_local);
+        self.catch_up(home, now);
+        touched[home] = true;
         let admitted = self.devices[home]
             .scheduler
             .as_mut()
@@ -284,6 +363,8 @@ impl ClusterDispatcher {
             candidates.sort_by(|&a, &b| load(a).total_cmp(&load(b)).then_with(|| a.cmp(&b)));
             for device in candidates {
                 let Some(local) = self.local_id_on(device, global) else { continue };
+                self.catch_up(device, now);
+                touched[device] = true;
                 let scheduler =
                     self.devices[device].scheduler.as_mut().expect("candidate has a scheduler");
                 if scheduler.try_release_job(localize(job, local)) {
@@ -323,8 +404,9 @@ impl ClusterDispatcher {
     /// Stage-boundary migration: while some device has a backlog it cannot
     /// serve (no idle stream) and another device sits idle, move queued
     /// not-yet-started jobs over (least urgent first, admission-tested on
-    /// the receiver).
-    fn rebalance(&mut self) {
+    /// the receiver). Devices a migration lands on are caught up to `now`
+    /// and marked in `touched`.
+    fn rebalance(&mut self, now: SimTime, touched: &mut [bool]) {
         for _ in 0..MAX_MIGRATIONS_PER_STEP {
             let backlog = |d: &DeviceRuntime| {
                 d.scheduler.as_ref().map(DarisScheduler::queue_backlog).unwrap_or(0)
@@ -372,6 +454,10 @@ impl ClusterDispatcher {
                 else {
                     continue;
                 };
+                self.catch_up(src, now);
+                self.catch_up(dst, now);
+                touched[src] = true;
+                touched[dst] = true;
                 let dst_scheduler =
                     self.devices[dst].scheduler.as_mut().expect("dst has a scheduler");
                 if dst_scheduler.try_release_job(localize(withdrawn, dst_local)) {

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use daris_gpu::{Gpu, SimDuration, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
 use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalPlan, Job, JobId, Priority, ReleaseJitter, TaskId, TaskSet, TaskSpec};
+use daris_workload::{ArrivalStream, Job, JobId, Priority, TaskId, TaskSet, TaskSpec};
 
 use crate::{
     populate_contexts, virtual_deadlines, AfetProfiler, ContextLoad, CoreError, DarisConfig,
@@ -185,6 +185,12 @@ impl DarisScheduler {
         &self.mret
     }
 
+    /// Simulated GPU events processed so far (see
+    /// [`Gpu::events_processed`](daris_gpu::Gpu::events_processed)).
+    pub fn events_processed(&self) -> u64 {
+        self.gpu.events_processed()
+    }
+
     /// The current offline/online context assignment, indexed by task.
     pub fn assignment(&self) -> &[usize] {
         &self.assignment
@@ -196,12 +202,13 @@ impl DarisScheduler {
     /// count as deadline misses if their deadline has already passed (the
     /// same accounting the paper's DMR uses).
     pub fn run_until(&mut self, horizon: SimTime) -> ExperimentOutcome {
-        let plan = ArrivalPlan::generate(&self.taskset, horizon, ReleaseJitter::None);
-        let arrivals: Vec<Job> = plan.into_iter().collect();
-        let mut next_arrival = 0usize;
+        // Arrivals are pulled lazily: memory stays O(tasks) regardless of the
+        // horizon instead of materializing every release up front.
+        let taskset = self.taskset.clone();
+        let mut arrivals = ArrivalStream::new(&taskset, horizon);
 
         loop {
-            let next_release = arrivals.get(next_arrival).map(|j| j.release);
+            let next_release = arrivals.next_release();
             let gpu_next = self.next_event_time();
             let step_to = match (next_release, gpu_next) {
                 (Some(r), Some(g)) => r.min(g),
@@ -213,9 +220,8 @@ impl DarisScheduler {
                 break;
             }
             self.advance_to(step_to);
-            while next_arrival < arrivals.len() && arrivals[next_arrival].release <= self.now {
-                let job = arrivals[next_arrival];
-                next_arrival += 1;
+            while arrivals.next_release().map(|r| r <= self.now).unwrap_or(false) {
+                let job = arrivals.next().expect("a pending release was peeked");
                 self.handle_release(job);
             }
             self.dispatch();
@@ -636,6 +642,7 @@ fn effective_stage_seeds(
 mod tests {
     use super::*;
     use crate::GpuPartition;
+    use daris_workload::{ArrivalPlan, ReleaseJitter};
 
     fn short_run(config: DarisConfig, taskset: &TaskSet, millis: u64) -> ExperimentOutcome {
         let mut scheduler = DarisScheduler::new(taskset, config).expect("scheduler builds");

@@ -14,8 +14,34 @@
 //!
 //! Kernel progress is the time-integral of its allocated SMs; a kernel
 //! completes when the integral reaches its `work`.
+//!
+//! # Event calendar
+//!
+//! Time advancement is driven by a [`BinaryHeap`] **event calendar** of
+//! `(SimTime, EventKind)` entries with *lazy invalidation*: every work item
+//! carries an epoch counter that is bumped whenever its state or predicted
+//! finish time changes, and calendar entries record the epoch they were
+//! scheduled under. Stale entries (mismatched epoch) are discarded when they
+//! surface at the top of the heap, so [`Gpu::next_event_time`] is a plain
+//! heap peek instead of a scan over all in-flight items.
+//!
+//! * **Launch** and **copy** completions are scheduled once: their remaining
+//!   times shrink by exact integer-nanosecond subtraction, so the absolute
+//!   completion instant never moves.
+//! * **Compute** completions depend on the floating-point SM rate, which can
+//!   change on every [`replan`](Gpu::submit); they are rescheduled (epoch
+//!   bump + new entry) whenever allocations are recomputed — with the same
+//!   arithmetic the previous scan-based engine used, keeping event times
+//!   bit-identical (pinned by the golden-trace tests).
+//!
+//! Bookkeeping that used to scan every pending item is incremental: a
+//! `running` set (at most one item per stream) bounds progress application
+//! and transition checks, and per-context *computing* sets with dirty flags
+//! let `replan` reuse cached water-filling for contexts whose membership did
+//! not change.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use crate::context::Context;
 use crate::kernel::{KernelDesc, KernelPhase, WorkItem, WorkItemId};
@@ -94,7 +120,6 @@ enum ItemState {
 
 #[derive(Debug, Clone)]
 struct ItemInstance {
-    id: WorkItemId,
     tag: u64,
     stream: StreamId,
     context: ContextId,
@@ -105,6 +130,9 @@ struct ItemInstance {
     kernel_index: usize,
     launch_remaining: SimDuration,
     work_remaining: f64,
+    /// Lazy-invalidation epoch: calendar entries scheduled for this item are
+    /// only honoured while their recorded epoch matches.
+    epoch: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +146,39 @@ struct ActiveCopy {
     item: WorkItemId,
     direction: CopyDirection,
     remaining: SimDuration,
+}
+
+/// What a calendar entry announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// The single copy engine finishes its active transfer.
+    Copy { epoch: u64 },
+    /// `item` finishes its serial kernel-launch phase.
+    Launch { item: WorkItemId, epoch: u64 },
+    /// `item` exhausts its kernel's work at the rate in force when scheduled.
+    Compute { item: WorkItemId, epoch: u64 },
+}
+
+/// One entry of the event calendar. Ordered by `(at, seq)`; `seq` is a
+/// deterministic tie-breaker (scheduling order) so heap order never depends
+/// on the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CalendarEntry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialOrd for CalendarEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CalendarEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
 }
 
 /// The simulated GPU device.
@@ -135,12 +196,27 @@ pub struct Gpu {
     active_copy: Option<ActiveCopy>,
     /// Current SM rate (SMs × efficiency) per actively computing item.
     rates: HashMap<WorkItemId, f64>,
+    /// The event calendar (min-heap by event time, lazily invalidated).
+    calendar: BinaryHeap<Reverse<CalendarEntry>>,
+    /// Monotonic scheduling counter used as the calendar tie-breaker.
+    cal_seq: u64,
+    /// Epoch of the copy engine's active transfer (bumped per transfer).
+    copy_epoch: u64,
+    /// Items currently launching or computing (at most one per stream).
+    running: BTreeSet<WorkItemId>,
+    /// Computing items per context (indexed by context), kept incrementally.
+    computing: Vec<BTreeSet<WorkItemId>>,
+    /// Contexts whose computing membership changed since the last replan.
+    ctx_dirty: Vec<bool>,
+    /// Cached water-fill allocation per context (valid while not dirty).
+    ctx_alloc: Vec<Vec<(WorkItemId, f64)>>,
     memory: MemoryPool,
     trace: Trace,
     rng: XorShiftRng,
     completed_work: f64,
     busy_sm_integral_us: f64,
     pending_count: usize,
+    events_processed: u64,
 }
 
 impl Gpu {
@@ -158,12 +234,20 @@ impl Gpu {
             copy_queue: VecDeque::new(),
             active_copy: None,
             rates: HashMap::new(),
+            calendar: BinaryHeap::new(),
+            cal_seq: 0,
+            copy_epoch: 0,
+            running: BTreeSet::new(),
+            computing: Vec::new(),
+            ctx_dirty: Vec::new(),
+            ctx_alloc: Vec::new(),
             memory,
             trace: Trace::new(),
             rng,
             completed_work: 0.0,
             busy_sm_integral_us: 0.0,
             pending_count: 0,
+            events_processed: 0,
         }
     }
 
@@ -189,6 +273,9 @@ impl Gpu {
         let quota = sm_quota.min(self.spec.sm_count);
         let id = ContextId(self.contexts.len() as u32);
         self.contexts.push(Context::new(id, quota));
+        self.computing.push(BTreeSet::new());
+        self.ctx_dirty.push(false);
+        self.ctx_alloc.push(Vec::new());
         Ok(id)
     }
 
@@ -217,25 +304,25 @@ impl Gpu {
         self.streams.len()
     }
 
-    /// Ids of all contexts in creation order.
-    pub fn context_ids(&self) -> Vec<ContextId> {
-        self.contexts.iter().map(|c| c.id).collect()
+    /// Ids of all contexts in creation order, without allocating.
+    pub fn context_ids(&self) -> impl ExactSizeIterator<Item = ContextId> + '_ {
+        self.contexts.iter().map(|c| c.id)
     }
 
-    /// Ids of all streams in creation order.
-    pub fn stream_ids(&self) -> Vec<StreamId> {
-        self.streams.iter().map(|s| s.id).collect()
+    /// Ids of all streams in creation order, without allocating.
+    pub fn stream_ids(&self) -> impl ExactSizeIterator<Item = StreamId> + '_ {
+        self.streams.iter().map(|s| s.id)
     }
 
-    /// Ids of the streams belonging to `context`.
+    /// Ids of the streams belonging to `context`, as a borrowed slice.
     ///
     /// # Errors
     ///
     /// Returns [`GpuError::UnknownContext`] for an unknown context.
-    pub fn streams_of(&self, context: ContextId) -> Result<Vec<StreamId>> {
+    pub fn streams_of(&self, context: ContextId) -> Result<&[StreamId]> {
         self.contexts
             .get(context.index())
-            .map(|c| c.streams.clone())
+            .map(|c| c.streams.as_slice())
             .ok_or(GpuError::UnknownContext(context))
     }
 
@@ -277,7 +364,6 @@ impl Gpu {
         self.next_item_id += 1;
         let tag = item.tag;
         let instance = ItemInstance {
-            id,
             tag,
             stream,
             context,
@@ -288,6 +374,7 @@ impl Gpu {
             kernel_index: 0,
             launch_remaining: SimDuration::ZERO,
             work_remaining: 0.0,
+            epoch: 0,
         };
         self.items.insert(id, instance);
         self.streams[stream.index()].queue.push_back(id);
@@ -386,6 +473,13 @@ impl Gpu {
         self.completed_work
     }
 
+    /// Number of discrete state transitions fired so far (copy completions,
+    /// launch→compute flips, kernel completions). The denominator-independent
+    /// "simulated events" figure the perf harness reports as events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Average device utilization (busy SM-time divided by `sm_count ×
     /// elapsed time`) since simulation start. Returns 0 before any time has
     /// elapsed.
@@ -408,37 +502,15 @@ impl Gpu {
     }
 
     /// Time of the next internal state transition, if any work is in flight.
+    ///
+    /// A heap peek: every public mutation re-establishes the invariant that
+    /// the calendar's top entry is live, so no scan is needed.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        let mut earliest: Option<SimTime> = None;
-        let mut consider = |t: SimTime| {
-            earliest = Some(match earliest {
-                Some(e) if e <= t => e,
-                _ => t,
-            });
-        };
-        if let Some(copy) = &self.active_copy {
-            consider(self.now + copy.remaining);
-        }
-        for item in self.items.values() {
-            match &item.state {
-                ItemState::Running(KernelPhase::Launching) => {
-                    consider(self.now + item.launch_remaining);
-                }
-                ItemState::Running(KernelPhase::Computing) => {
-                    let rate = self.rates.get(&item.id).copied().unwrap_or(0.0);
-                    if rate > 0.0 {
-                        let us = item.work_remaining / rate;
-                        let mut d = SimDuration::from_micros_f64(us);
-                        if d.is_zero() {
-                            d = SimDuration::from_nanos(1);
-                        }
-                        consider(self.now + d);
-                    }
-                }
-                _ => {}
-            }
-        }
-        earliest
+        debug_assert!(
+            self.calendar.peek().map(|Reverse(e)| self.entry_live(e)).unwrap_or(true),
+            "calendar top must be live at public boundaries"
+        );
+        self.calendar.peek().map(|Reverse(e)| e.at)
     }
 
     /// Advances the simulation to exactly `target`, processing every internal
@@ -509,21 +581,36 @@ impl Gpu {
             self.rng.jitter(half)
         };
         let default_launch = self.spec.default_launch_overhead;
+        let now = self.now;
         let Some(item) = self.items.get_mut(&item_id) else { return };
+        // A back-to-back kernel of the same item leaves the computing set.
+        let was_computing = matches!(item.state, ItemState::Running(KernelPhase::Computing));
+        let ctx = item.context.index();
         let desc: &KernelDesc = &item.spec.kernels[index];
         item.kernel_index = index;
         item.launch_remaining = desc.launch_overhead.unwrap_or(default_launch);
         item.work_remaining = desc.work * jitter;
         item.state = ItemState::Running(KernelPhase::Launching);
+        item.epoch += 1;
+        let epoch = item.epoch;
+        let at = now + item.launch_remaining;
+        let (tag, stream, context) = (item.tag, item.stream, item.context);
+        let label = if index == 0 { item.spec.kernels[0].label.clone() } else { None };
+        if was_computing {
+            self.computing[ctx].remove(&item_id);
+            self.ctx_dirty[ctx] = true;
+        }
+        self.running.insert(item_id);
+        self.push_event(at, EventKind::Launch { item: item_id, epoch });
         if index == 0 {
             self.trace.record(TraceEvent {
                 at: self.now,
                 kind: TraceEventKind::ExecutionStarted,
                 item: item_id,
-                tag: item.tag,
-                stream: item.stream,
-                context: item.context,
-                label: item.spec.kernels[0].label.clone(),
+                tag,
+                stream,
+                context,
+                label,
             });
         }
     }
@@ -548,22 +635,30 @@ impl Gpu {
             CopyDirection::DeviceToHost => ItemState::CopyingOut,
         };
         self.active_copy = Some(ActiveCopy { item: item_id, direction, remaining });
+        // Copy durations shrink by exact integer subtraction, so the
+        // completion instant is fixed at start: schedule it once.
+        self.copy_epoch += 1;
+        self.push_event(self.now + remaining, EventKind::Copy { epoch: self.copy_epoch });
     }
 
     /// Applies `dt` of progress to every running kernel and the active copy.
+    ///
+    /// Only the `running` set (at most one item per stream) is visited;
+    /// queued items have no progress to apply.
     fn apply_progress(&mut self, dt: SimDuration) {
         if dt.is_zero() {
             return;
         }
         let dt_us = dt.as_micros_f64();
         let mut executed = 0.0;
-        for item in self.items.values_mut() {
+        for id in &self.running {
+            let Some(item) = self.items.get_mut(id) else { continue };
             match item.state {
                 ItemState::Running(KernelPhase::Launching) => {
                     item.launch_remaining = item.launch_remaining.saturating_sub(dt);
                 }
                 ItemState::Running(KernelPhase::Computing) => {
-                    let rate = self.rates.get(&item.id).copied().unwrap_or(0.0);
+                    let rate = self.rates.get(id).copied().unwrap_or(0.0);
                     let done = (rate * dt_us).min(item.work_remaining);
                     item.work_remaining -= done;
                     executed += done;
@@ -591,6 +686,7 @@ impl Gpu {
             if copy_done {
                 let copy = self.active_copy.take().expect("checked above");
                 changed = true;
+                self.events_processed += 1;
                 match copy.direction {
                     CopyDirection::HostToDevice => {
                         self.start_kernel(copy.item, 0);
@@ -602,8 +698,8 @@ impl Gpu {
                 self.pump_copy_engine();
             }
 
-            // Kernel phase transitions.
-            let ids: Vec<WorkItemId> = self.items.keys().copied().collect();
+            // Kernel phase transitions: only running items can transition.
+            let ids: Vec<WorkItemId> = self.running.iter().copied().collect();
             for id in ids {
                 let (state, launch_left, work_left, kernel_index, kernel_count) = {
                     let Some(item) = self.items.get(&id) else { continue };
@@ -619,11 +715,17 @@ impl Gpu {
                     ItemState::Running(KernelPhase::Launching) if launch_left.is_zero() => {
                         if let Some(item) = self.items.get_mut(&id) {
                             item.state = ItemState::Running(KernelPhase::Computing);
+                            item.epoch += 1;
+                            let ctx = item.context.index();
+                            self.computing[ctx].insert(id);
+                            self.ctx_dirty[ctx] = true;
                         }
                         changed = true;
+                        self.events_processed += 1;
                     }
                     ItemState::Running(KernelPhase::Computing) if work_left <= WORK_EPSILON => {
                         changed = true;
+                        self.events_processed += 1;
                         let (tag, stream, context, label) = {
                             let item = self.items.get(&id).expect("item exists");
                             (
@@ -649,7 +751,12 @@ impl Gpu {
                             if d2h > 0 {
                                 if let Some(item) = self.items.get_mut(&id) {
                                     item.state = ItemState::PendingCopyOut;
+                                    item.epoch += 1;
+                                    let ctx = item.context.index();
+                                    self.computing[ctx].remove(&id);
+                                    self.ctx_dirty[ctx] = true;
                                 }
+                                self.running.remove(&id);
                                 self.copy_queue.push_back((id, CopyDirection::DeviceToHost));
                                 self.pump_copy_engine();
                             } else {
@@ -689,48 +796,137 @@ impl Gpu {
             label: None,
         });
         completions.push(completion);
+        let context = self.items[&item_id].context.index();
         self.items.remove(&item_id);
         self.rates.remove(&item_id);
+        self.running.remove(&item_id);
+        if self.computing[context].remove(&item_id) {
+            self.ctx_dirty[context] = true;
+        }
         self.pending_count = self.pending_count.saturating_sub(1);
+        // Only the item at the front of its stream can be in flight, so
+        // finishing is an O(1) pop — never a scan of the backlog.
         let s = &mut self.streams[stream.index()];
+        debug_assert_eq!(s.queue.front(), Some(&item_id), "finished item must be its stream front");
         if s.queue.front() == Some(&item_id) {
             s.queue.pop_front();
-        } else {
-            s.queue.retain(|id| *id != item_id);
         }
         self.activate_front(stream);
     }
 
-    /// Recomputes SM allocation rates for every computing kernel.
+    /// Recomputes SM allocation rates for every computing kernel and
+    /// reschedules their compute-finish events on the calendar.
+    ///
+    /// Water-filling is cached per context and only recomputed for contexts
+    /// whose computing membership changed since the last replan (`ctx_dirty`).
+    /// The cross-context contention scale still applies globally, but that is
+    /// a single multiply per computing item.
     fn replan(&mut self) {
         self.rates.clear();
-        // Gather computing kernels grouped by context.
-        let mut per_context: HashMap<ContextId, Vec<(WorkItemId, u32)>> = HashMap::new();
-        for item in self.items.values() {
-            if matches!(item.state, ItemState::Running(KernelPhase::Computing)) {
-                let parallelism = item.spec.kernels[item.kernel_index].parallelism;
-                per_context.entry(item.context).or_default().push((item.id, parallelism));
+        // Refresh the water-fill cache of dirty contexts.
+        for ctx in 0..self.contexts.len() {
+            if !self.ctx_dirty[ctx] {
+                continue;
             }
+            self.ctx_dirty[ctx] = false;
+            let kernels: Vec<(WorkItemId, u32)> = self.computing[ctx]
+                .iter()
+                .map(|id| {
+                    let item = &self.items[id];
+                    (*id, item.spec.kernels[item.kernel_index].parallelism)
+                })
+                .collect();
+            let quota = f64::from(self.contexts[ctx].sm_quota);
+            self.ctx_alloc[ctx] = water_fill(quota, &kernels);
         }
-        if per_context.is_empty() {
-            return;
-        }
-        let mut allocations: HashMap<WorkItemId, f64> = HashMap::new();
         let mut total = 0.0;
-        for (ctx, kernels) in &per_context {
-            let quota = f64::from(self.contexts[ctx.index()].sm_quota);
-            let allocs = water_fill(quota, kernels);
-            for (id, a) in allocs {
-                total += a;
-                allocations.insert(id, a);
+        let mut busy_contexts = 0usize;
+        for ctx in 0..self.contexts.len() {
+            if self.computing[ctx].is_empty() {
+                continue;
             }
+            busy_contexts += 1;
+            for (_, a) in &self.ctx_alloc[ctx] {
+                total += *a;
+            }
+        }
+        if busy_contexts == 0 {
+            self.clean_calendar();
+            return;
         }
         let sm_count = f64::from(self.spec.sm_count);
         let scale = if total > sm_count { sm_count / total } else { 1.0 };
         let demand_ratio = total / sm_count;
-        let efficiency = self.spec.interference.efficiency(per_context.len(), demand_ratio);
-        for (id, a) in allocations {
-            self.rates.insert(id, a * scale * efficiency);
+        let efficiency = self.spec.interference.efficiency(busy_contexts, demand_ratio);
+        let factor = scale * efficiency;
+        // Apply the global factor and reschedule each compute-finish event
+        // with the exact arithmetic the scan-based engine used.
+        let now = self.now;
+        for ctx in 0..self.contexts.len() {
+            for i in 0..self.ctx_alloc[ctx].len() {
+                let (id, alloc) = self.ctx_alloc[ctx][i];
+                let rate = alloc * factor;
+                self.rates.insert(id, rate);
+                let Some(item) = self.items.get_mut(&id) else { continue };
+                item.epoch += 1;
+                let epoch = item.epoch;
+                if rate > 0.0 {
+                    let us = item.work_remaining / rate;
+                    let mut d = SimDuration::from_micros_f64(us);
+                    if d.is_zero() {
+                        d = SimDuration::from_nanos(1);
+                    }
+                    self.push_event(now + d, EventKind::Compute { item: id, epoch });
+                }
+            }
+        }
+        self.clean_calendar();
+    }
+
+    /// Schedules a calendar entry.
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.cal_seq += 1;
+        self.calendar.push(Reverse(CalendarEntry { at, seq: self.cal_seq, kind }));
+    }
+
+    /// Whether a calendar entry still refers to a live scheduled event.
+    fn entry_live(&self, entry: &CalendarEntry) -> bool {
+        match entry.kind {
+            EventKind::Copy { epoch } => epoch == self.copy_epoch && self.active_copy.is_some(),
+            EventKind::Launch { item, epoch } => self
+                .items
+                .get(&item)
+                .map(|i| {
+                    i.epoch == epoch
+                        && matches!(i.state, ItemState::Running(KernelPhase::Launching))
+                })
+                .unwrap_or(false),
+            EventKind::Compute { item, epoch } => self
+                .items
+                .get(&item)
+                .map(|i| {
+                    i.epoch == epoch
+                        && matches!(i.state, ItemState::Running(KernelPhase::Computing))
+                })
+                .unwrap_or(false),
+        }
+    }
+
+    /// Restores the "calendar top is live" invariant (lazy invalidation) and
+    /// occasionally compacts the heap so stale entries cannot accumulate
+    /// beyond a small multiple of the live set.
+    fn clean_calendar(&mut self) {
+        while let Some(Reverse(entry)) = self.calendar.peek() {
+            if self.entry_live(entry) {
+                break;
+            }
+            self.calendar.pop();
+        }
+        let live_bound = 8 * (self.running.len() + 2);
+        if self.calendar.len() > 64 && self.calendar.len() > live_bound {
+            let heap = std::mem::take(&mut self.calendar);
+            self.calendar =
+                heap.into_iter().filter(|Reverse(entry)| self.entry_live(entry)).collect();
         }
     }
 }

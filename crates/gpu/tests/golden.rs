@@ -1,0 +1,176 @@
+//! Golden-trace equivalence tests for the GPU engine.
+//!
+//! Three seeded workloads were run on the *seed* (scan-everything) engine
+//! before the event-calendar refactor, and their full [`Completion`] streams
+//! were committed under `tests/golden/`. The tests here replay the same
+//! workloads on the current engine and assert the completion streams match
+//! **exactly** (nanosecond timestamps included), pinning the refactored
+//! engine to the original behaviour.
+//!
+//! To regenerate (only legitimate after an *intentional* semantic change):
+//!
+//! ```sh
+//! DARIS_REGEN_GOLDEN=1 cargo test -p daris-gpu --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use daris_gpu::{Completion, Gpu, GpuSpec, KernelDesc, SimTime, WorkItem, XorShiftRng};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.trace"))
+}
+
+fn serialize(completions: &[Completion]) -> String {
+    let mut out = String::new();
+    out.push_str("# tag item stream context submitted_ns started_ns finished_ns\n");
+    for c in completions {
+        writeln!(
+            out,
+            "{} {} {} {} {} {} {}",
+            c.tag,
+            c.item,
+            c.stream,
+            c.context,
+            c.submitted_at.as_nanos(),
+            c.started_at.as_nanos(),
+            c.finished_at.as_nanos()
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+fn check_or_regen(name: &str, completions: &[Completion]) {
+    let path = golden_path(name);
+    let actual = serialize(completions);
+    if std::env::var_os("DARIS_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &actual).expect("write golden trace");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {path:?} ({e}); regenerate with \
+             DARIS_REGEN_GOLDEN=1 cargo test -p daris-gpu --test golden"
+        )
+    });
+    if expected != actual {
+        let diverging = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| {
+                format!("first divergence at line {i}:\n  golden: {e}\n  actual: {a}")
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: golden {} vs actual {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!("completion stream diverged from golden trace {name}: {diverging}");
+    }
+}
+
+/// A pseudo-random work item: 1–3 kernels, varying work/parallelism, and
+/// (for some items) host/device copies.
+fn random_item(rng: &mut XorShiftRng, tag: u64) -> WorkItem {
+    let mut item = WorkItem::new(tag);
+    let kernels = 1 + (rng.next_u64() % 3) as usize;
+    for _ in 0..kernels {
+        let work = rng.uniform(50.0, 4_000.0);
+        let parallelism = 4 + (rng.next_u64() % 64) as u32;
+        item = item.with_kernel(KernelDesc::new(work, parallelism));
+    }
+    if rng.next_u64() % 2 == 0 {
+        item = item.with_h2d_bytes(1_000 + rng.next_u64() % 200_000);
+    }
+    if rng.next_u64() % 3 == 0 {
+        item = item.with_d2h_bytes(500 + rng.next_u64() % 50_000);
+    }
+    item
+}
+
+/// Workload 1: a t=0 burst of 48 mixed items over 3 quota-limited contexts
+/// with the default jitter + interference model, drained with run_to_idle.
+#[test]
+fn golden_burst_multi_context() {
+    let mut rng = XorShiftRng::new(0xB0B5_0001);
+    let mut gpu = Gpu::new(GpuSpec::rtx_2080_ti());
+    let mut streams = Vec::new();
+    for _ in 0..3 {
+        let ctx = gpu.add_context(34).unwrap();
+        for _ in 0..2 {
+            streams.push(gpu.add_stream(ctx).unwrap());
+        }
+    }
+    for tag in 0..48u64 {
+        let stream = streams[(rng.next_u64() % streams.len() as u64) as usize];
+        gpu.submit(stream, random_item(&mut rng, tag)).unwrap();
+    }
+    let done = gpu.run_to_idle();
+    assert_eq!(done.len(), 48);
+    check_or_regen("burst_multi_context", &done);
+}
+
+/// Workload 2: staggered submissions — batches arrive at random times while
+/// earlier work is still in flight, advancing in uneven steps.
+#[test]
+fn golden_staggered_arrivals() {
+    let mut rng = XorShiftRng::new(0xB0B5_0002);
+    let mut gpu = Gpu::new(GpuSpec::rtx_2080_ti());
+    let mut streams = Vec::new();
+    for quota in [68u32, 24] {
+        let ctx = gpu.add_context(quota).unwrap();
+        for _ in 0..3 {
+            streams.push(gpu.add_stream(ctx).unwrap());
+        }
+    }
+    let mut all = Vec::new();
+    let mut tag = 0u64;
+    let mut t = SimTime::ZERO;
+    for _ in 0..24 {
+        t += daris_gpu::SimDuration::from_micros_f64(rng.uniform(3.0, 120.0));
+        all.extend(gpu.advance_to(t));
+        let batch = 1 + rng.next_u64() % 4;
+        for _ in 0..batch {
+            let stream = streams[(rng.next_u64() % streams.len() as u64) as usize];
+            gpu.submit(stream, random_item(&mut rng, tag)).unwrap();
+            tag += 1;
+        }
+    }
+    all.extend(gpu.run_to_idle());
+    assert_eq!(all.len(), tag as usize);
+    check_or_regen("staggered_arrivals", &all);
+}
+
+/// Workload 3: heavy oversubscription — 4 full-width contexts fighting for
+/// the device, drained through many small advance_to steps.
+#[test]
+fn golden_oversubscribed_small_steps() {
+    let mut rng = XorShiftRng::new(0xB0B5_0003);
+    let mut gpu = Gpu::new(GpuSpec::rtx_2080_ti());
+    let mut streams = Vec::new();
+    for _ in 0..4 {
+        let ctx = gpu.add_context(68).unwrap();
+        streams.push(gpu.add_stream(ctx).unwrap());
+        streams.push(gpu.add_stream(ctx).unwrap());
+    }
+    for tag in 0..40u64 {
+        let stream = streams[(rng.next_u64() % streams.len() as u64) as usize];
+        gpu.submit(stream, random_item(&mut rng, tag)).unwrap();
+    }
+    let mut all = Vec::new();
+    let mut t = SimTime::ZERO;
+    while gpu.pending_items() > 0 {
+        t += daris_gpu::SimDuration::from_micros_f64(rng.uniform(0.5, 40.0));
+        all.extend(gpu.advance_to(t));
+    }
+    assert_eq!(all.len(), 40);
+    check_or_regen("oversubscribed_small_steps", &all);
+}

@@ -81,6 +81,55 @@ proptest! {
         prop_assert!(t2 <= t1 + 1e-3, "quota {} -> {}, time {} -> {}", q1, q2, t1, t2);
     }
 
+    /// Advancing in arbitrary random split points yields the *identical*
+    /// completion stream (same order, same nanosecond timestamps) as one
+    /// all-at-once advance: the event calendar must be insensitive to how
+    /// callers slice time.
+    #[test]
+    fn random_advance_splits_never_change_completions(seed in 0u64..1_000_000, n_items in 1usize..24) {
+        let build = || {
+            // Jitter + interference on: the hardest setting for exactness.
+            let mut gpu = Gpu::new(GpuSpec::rtx_2080_ti());
+            let mut rng = daris_gpu::XorShiftRng::new(seed);
+            let mut streams = Vec::new();
+            for quota in [34u32, 68] {
+                let ctx = gpu.add_context(quota).unwrap();
+                streams.push(gpu.add_stream(ctx).unwrap());
+                streams.push(gpu.add_stream(ctx).unwrap());
+            }
+            for tag in 0..n_items as u64 {
+                let stream = streams[(rng.next_u64() % streams.len() as u64) as usize];
+                let mut item = WorkItem::new(tag)
+                    .with_kernel(KernelDesc::new(rng.uniform(40.0, 3_000.0), 8 + (rng.next_u64() % 60) as u32));
+                if rng.next_u64() % 2 == 0 {
+                    item = item.with_kernel(KernelDesc::new(rng.uniform(40.0, 1_000.0), 16));
+                }
+                if rng.next_u64() % 2 == 0 {
+                    item = item.with_h2d_bytes(1 + rng.next_u64() % 100_000);
+                }
+                gpu.submit(stream, item).unwrap();
+            }
+            gpu
+        };
+
+        // Reference: drain with run_to_idle.
+        let mut reference = build();
+        let expected = reference.run_to_idle();
+        let end = reference.now();
+
+        // Same workload, advanced over random split points.
+        let mut split = build();
+        let mut split_rng = daris_gpu::XorShiftRng::new(seed ^ 0x5911_77ed);
+        let mut got = Vec::new();
+        let mut t = SimTime::ZERO;
+        while split.pending_items() > 0 {
+            t += daris_gpu::SimDuration::from_micros_f64(split_rng.uniform(0.1, 25.0));
+            got.extend(split.advance_to(t));
+        }
+        prop_assert_eq!(&expected, &got, "completion streams must be split-invariant");
+        prop_assert!(split.now() >= end);
+    }
+
     /// Completions are never reported before the submission time and the
     /// device clock never runs backwards.
     #[test]

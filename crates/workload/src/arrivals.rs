@@ -1,8 +1,11 @@
 //! Job arrival generation.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use daris_gpu::{SimDuration, SimTime, XorShiftRng};
 
-use crate::{Job, TaskSet};
+use crate::{Job, TaskId, TaskSet};
 
 /// Optional jitter applied to nominal periodic release times, modelling
 /// client-side timing noise. Deadlines remain anchored to the *nominal*
@@ -101,6 +104,66 @@ impl ArrivalPlan {
     }
 }
 
+/// A **lazy** strictly-periodic arrival source: yields the same jobs, in the
+/// same order, as [`ArrivalPlan::generate`] with [`ReleaseJitter::None`], but
+/// holds only one heap entry per task instead of materializing the whole
+/// horizon up front (memory stays O(tasks) however long the run is).
+///
+/// ```
+/// use daris_workload::{ArrivalPlan, ArrivalStream, TaskSet, ReleaseJitter};
+/// use daris_models::DnnKind;
+/// use daris_gpu::SimTime;
+///
+/// let ts = TaskSet::table2(DnnKind::UNet);
+/// let horizon = SimTime::from_millis(100);
+/// let eager: Vec<_> = ArrivalPlan::generate(&ts, horizon, ReleaseJitter::None).into_iter().collect();
+/// let lazy: Vec<_> = ArrivalStream::new(&ts, horizon).collect();
+/// assert_eq!(eager, lazy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalStream<'a> {
+    tasks: &'a TaskSet,
+    horizon: SimTime,
+    /// Next release of each task, ordered by `(release, task, index)` — the
+    /// exact tie-break of the eager plan's stable sort.
+    heap: BinaryHeap<Reverse<(SimTime, TaskId, u64)>>,
+}
+
+impl<'a> ArrivalStream<'a> {
+    /// Builds a lazy arrival stream over `tasks` with nominal releases
+    /// strictly before `horizon`.
+    pub fn new(tasks: &'a TaskSet, horizon: SimTime) -> Self {
+        let mut heap = BinaryHeap::with_capacity(tasks.len());
+        for task in tasks.tasks() {
+            let first = task.job(0).release;
+            if first < horizon {
+                heap.push(Reverse((first, task.id, 0)));
+            }
+        }
+        ArrivalStream { tasks, horizon, heap }
+    }
+
+    /// Release time of the next job, without consuming it.
+    pub fn next_release(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((release, _, _))| *release)
+    }
+}
+
+impl Iterator for ArrivalStream<'_> {
+    type Item = Job;
+
+    fn next(&mut self) -> Option<Job> {
+        let Reverse((_, task_id, index)) = self.heap.pop()?;
+        let task = self.tasks.task(task_id).expect("stream tasks outlive the iterator");
+        let job = task.job(index);
+        let succ = task.job(index + 1);
+        if succ.release < self.horizon {
+            self.heap.push(Reverse((succ.release, task_id, index + 1)));
+        }
+        Some(job)
+    }
+}
+
 impl IntoIterator for ArrivalPlan {
     type Item = Job;
     type IntoIter = std::vec::IntoIter<Job>;
@@ -158,6 +221,32 @@ mod tests {
             assert_eq!(j.absolute_deadline, nominal.absolute_deadline);
             assert!(j.release >= nominal.release);
         }
+    }
+
+    #[test]
+    fn lazy_stream_matches_eager_plan_exactly() {
+        for ts in
+            [TaskSet::table2(DnnKind::ResNet18), TaskSet::table2(DnnKind::UNet), TaskSet::mixed()]
+        {
+            let horizon = SimTime::from_millis(150);
+            let eager: Vec<Job> =
+                ArrivalPlan::generate(&ts, horizon, ReleaseJitter::None).into_iter().collect();
+            let stream = ArrivalStream::new(&ts, horizon);
+            assert_eq!(stream.next_release(), eager.first().map(|j| j.release));
+            let lazy: Vec<Job> = stream.collect();
+            assert_eq!(eager, lazy, "lazy arrivals must replicate the eager plan");
+        }
+    }
+
+    #[test]
+    fn lazy_stream_peek_is_consistent_with_next() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let mut stream = ArrivalStream::new(&ts, SimTime::from_millis(50));
+        while let Some(peeked) = stream.next_release() {
+            let job = stream.next().expect("peeked release implies a job");
+            assert_eq!(job.release, peeked);
+        }
+        assert!(stream.next().is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod arrivals;
 mod task;
 mod taskset;
 
-pub use arrivals::{ArrivalPlan, ReleaseJitter};
+pub use arrivals::{ArrivalPlan, ArrivalStream, ReleaseJitter};
 pub use task::{Job, JobId, Priority, TaskId, TaskSpec};
 pub use taskset::{RatioScenario, TaskSet, TaskSetBuilder};
 
