@@ -8,26 +8,31 @@
 //! Usage:
 //!
 //! ```sh
-//! bench_perf [--label TEXT] [--out PATH] [--check BASELINE.json]
+//! bench_perf [--label TEXT] [--out PATH] [--check BASELINE.json] [--threads N]
 //! ```
 //!
-//! * `--label`  — run label embedded in the JSON (default: "current").
-//! * `--out`    — output path (default: `BENCH_sim_core.local.json`,
+//! * `--label`   — run label embedded in the JSON (default: "current").
+//! * `--out`     — output path (default: `BENCH_sim_core.local.json`,
 //!   git-ignored; `-` skips writing).
-//! * `--check`  — compare against a checked-in baseline and exit non-zero if
-//!   any section's events/sec fell more than 3× below it (the CI smoke gate).
+//! * `--check`   — compare against a checked-in baseline and exit non-zero if
+//!   any section's events/sec fell more than 2× below it (the CI smoke gate).
+//! * `--threads` — dispatcher worker threads for the `_par` twin sections of
+//!   the wide fleet sweeps; `0` uses the machine's available parallelism.
+//!   Default 1 (no parallel sections). Parallel sections must report exactly
+//!   the serial completed-job counts — a mismatch is a determinism bug.
 //!
 //! The simulated horizon per section comes from `DARIS_HORIZON_MS`
 //! (default 1500 ms; CI uses a short horizon).
 
 use std::process::ExitCode;
 
-use daris_bench::perf::{regression_failures, run_perf, runs_to_json};
+use daris_bench::perf::{regression_failures, run_perf, runs_to_json, CI_REGRESSION_FACTOR};
 
 fn main() -> ExitCode {
     let mut label = "current".to_owned();
     let mut out = "BENCH_sim_core.local.json".to_owned();
     let mut check: Option<String> = None;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value =
@@ -36,20 +41,42 @@ fn main() -> ExitCode {
             "--label" => label = value("--label"),
             "--out" => out = value("--out"),
             "--check" => check = Some(value("--check")),
+            "--threads" => threads = daris_bench::parse_thread_count(&value("--threads")),
             other => panic!("unknown argument {other:?} (see the bin docs)"),
         }
     }
 
     let horizon = daris_bench::horizon();
-    eprintln!("bench_perf: running sections at horizon {horizon} ...");
-    let run = run_perf(&label, horizon);
+    eprintln!("bench_perf: running sections at horizon {horizon} ({threads} worker threads) ...");
+    let run = run_perf(&label, horizon, threads);
     for s in &run.sections {
         eprintln!(
-            "  {:<24} {:>9.1} ms  {:>12.0} events/s  {:>6} jobs",
+            "  {:<26} {:>9.1} ms  {:>12.0} events/s  {:>6} jobs",
             s.name, s.wall_ms, s.events_per_sec, s.completed_jobs
         );
     }
     eprintln!("  peak RSS: {:.1} MiB", run.peak_rss_bytes as f64 / (1024.0 * 1024.0));
+
+    // Cross-check the parallel twins against their serial sections: the
+    // deterministic join means identical simulated events and completions.
+    let mut determinism_broken = false;
+    for par in run.sections.iter().filter(|s| s.name.ends_with("_par")) {
+        let serial_name = par.name.trim_end_matches("_par");
+        if let Some(serial) = run.sections.iter().find(|s| s.name == serial_name) {
+            eprintln!(
+                "  {serial_name}: parallel speedup {:.2}x over serial",
+                par.events_per_sec / serial.events_per_sec.max(1e-9)
+            );
+            if (par.events, par.completed_jobs) != (serial.events, serial.completed_jobs) {
+                eprintln!(
+                    "bench_perf: DETERMINISM VIOLATION in {}: serial {} events / {} jobs, \
+                     parallel {} events / {} jobs",
+                    par.name, serial.events, serial.completed_jobs, par.events, par.completed_jobs
+                );
+                determinism_broken = true;
+            }
+        }
+    }
 
     if out != "-" {
         std::fs::write(&out, runs_to_json(std::slice::from_ref(&run)))
@@ -57,20 +84,24 @@ fn main() -> ExitCode {
         eprintln!("bench_perf: wrote {out}");
     }
 
+    if determinism_broken {
+        return ExitCode::FAILURE;
+    }
     if let Some(baseline_path) = check {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let failures = regression_failures(&run, &baseline);
+        let failures = regression_failures(&run, &baseline, CI_REGRESSION_FACTOR);
         if !failures.is_empty() {
             for (name, measured, floor) in &failures {
                 eprintln!(
                     "bench_perf: REGRESSION in {name}: {measured:.0} events/s is below the \
-                     3x-regression floor of {floor:.0} (baseline {baseline_path})"
+                     {CI_REGRESSION_FACTOR}x-regression floor of {floor:.0} (baseline \
+                     {baseline_path})"
                 );
             }
             return ExitCode::FAILURE;
         }
-        eprintln!("bench_perf: all sections within 3x of {baseline_path}");
+        eprintln!("bench_perf: all sections within {CI_REGRESSION_FACTOR}x of {baseline_path}");
     }
     ExitCode::SUCCESS
 }

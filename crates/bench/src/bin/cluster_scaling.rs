@@ -1,11 +1,47 @@
-//! Fleet-scaling experiment: sweeps 1→8 homogeneous devices and compares
-//! homogeneous vs heterogeneous fleets on a fixed oversized task set.
+//! Fleet-scaling experiments.
+//!
+//! Prints the classic fixed-workload 1→8 homogeneous sweep and fleet
+//! comparisons, then the wide 1→64 sweeps (homogeneous RTX 2080 Ti and the
+//! heterogeneous a100/h100/orin mix) with the workload scaled per fleet size.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cluster_scaling [--threads N] [--max-devices M]
+//! ```
+//!
+//! * `--threads`     — dispatcher worker threads for the wide sweeps (`0`
+//!   uses the machine's available parallelism; default 1). Scheduling
+//!   results are byte-identical at any thread count — threads only change
+//!   wall-clock.
+//! * `--max-devices` — cap the wide sweeps (default 64).
 //!
 //! Control the per-configuration simulated horizon with `DARIS_HORIZON_MS`
 //! (default 1500 ms).
 fn main() {
+    let mut threads = 1usize;
+    let mut max_devices = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match arg.as_str() {
+            "--threads" => threads = daris_bench::parse_thread_count(&value("--threads")),
+            "--max-devices" => {
+                let raw = value("--max-devices");
+                max_devices = raw
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--max-devices must be a number, got {raw:?}"));
+            }
+            other => panic!("unknown argument {other:?} (see the bin docs)"),
+        }
+    }
+
     println!("{}", daris_bench::cluster_scaling());
     for table in daris_bench::cluster_fleets() {
+        println!("{table}");
+    }
+    for table in daris_bench::cluster_scaling_wide(max_devices, threads) {
         println!("{table}");
     }
 }

@@ -53,6 +53,22 @@ fn horizon_override_ms() -> Option<u64> {
     }
 }
 
+/// Parses a `--threads` argument shared by the runner binaries: a plain
+/// count, with `0` meaning "one worker per available core".
+///
+/// # Panics
+///
+/// Panics with a clear message when the value is not a whole number.
+pub fn parse_thread_count(raw: &str) -> usize {
+    let threads: usize =
+        raw.parse().unwrap_or_else(|_| panic!("--threads must be a number, got {raw:?}"));
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Simulated horizon for each configuration, from `DARIS_HORIZON_MS`
 /// (default 1500 ms, floored at 50 ms).
 ///
@@ -482,13 +498,30 @@ pub fn cluster_taskset() -> TaskSet {
     TaskSet::table2_scaled(DnnKind::ResNet18, 4)
 }
 
+/// The wide-sweep fleet workload: `devices` devices' worth of the paper's
+/// standing 150 % ResNet18 overload, so every fleet size in the 1→64 sweep
+/// is offered the same per-device pressure.
+pub fn cluster_taskset_scaled(devices: usize) -> TaskSet {
+    TaskSet::table2_scaled(DnnKind::ResNet18, devices.max(1).min(u32::MAX as usize) as u32)
+}
+
 fn run_cluster(
     taskset: &TaskSet,
     fleet: ClusterSpec,
     strategy: PlacementStrategy,
     horizon: SimTime,
 ) -> ClusterOutcome {
-    let config = ClusterConfig { strategy, ..Default::default() };
+    run_cluster_threads(taskset, fleet, strategy, horizon, 1)
+}
+
+fn run_cluster_threads(
+    taskset: &TaskSet,
+    fleet: ClusterSpec,
+    strategy: PlacementStrategy,
+    horizon: SimTime,
+    threads: usize,
+) -> ClusterOutcome {
+    let config = ClusterConfig { strategy, threads, ..Default::default() };
     let mut dispatcher = ClusterDispatcher::new(taskset, fleet, config)
         .expect("valid cluster experiment configuration");
     dispatcher.run_until(horizon)
@@ -547,6 +580,76 @@ pub fn cluster_scaling() -> Table {
         table.add_row(cluster_row(&format!("{n}x 2080 Ti"), &taskset, &outcome));
     }
     table
+}
+
+/// The fleet sizes of the wide scaling sweeps, capped at `max_devices`.
+fn sweep_sizes(max_devices: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&n| n <= max_devices.max(1)).collect()
+}
+
+/// Wide fleet scaling with per-fleet-size workloads: each fleet size `n` is
+/// offered `n` devices' worth of the standing 150 % ResNet18 overload, so
+/// the per-device pressure stays constant and aggregate throughput must
+/// scale with the fleet. Runs homogeneous RTX 2080 Ti fleets and the
+/// heterogeneous A100/H100/Orin mix up to `max_devices`, each row timed
+/// wall-clock with `threads` dispatcher workers. The scheduling results are
+/// byte-identical at any thread count — `threads` only changes the wall
+/// column.
+pub fn cluster_scaling_wide(max_devices: usize, threads: usize) -> Vec<Table> {
+    let horizon = horizon();
+    let mut tables = Vec::new();
+    for (title, hetero) in [
+        ("Wide scaling — homogeneous RTX 2080 Ti, workload scaled with the fleet", false),
+        ("Wide scaling — heterogeneous a100/h100/orin mix, workload scaled with the fleet", true),
+    ] {
+        let mut table = Table::new(format!("{title} ({threads} worker threads)"));
+        table.set_headers([
+            "devices",
+            "tasks",
+            "JPS",
+            "served",
+            "HP DMR",
+            "LP DMR",
+            "completed",
+            "events",
+            "wall ms",
+            "events/s",
+        ]);
+        for n in sweep_sizes(max_devices) {
+            let taskset = cluster_taskset_scaled(n);
+            let fleet = if hetero {
+                ClusterSpec::heterogeneous_mix(n)
+            } else {
+                ClusterSpec::homogeneous(n, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0))
+            };
+            let config = ClusterConfig {
+                strategy: PlacementStrategy::GreedyBalance,
+                threads,
+                ..Default::default()
+            };
+            let start = std::time::Instant::now();
+            let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, config)
+                .expect("valid wide-sweep configuration");
+            let outcome = dispatcher.run_until(horizon);
+            let wall = start.elapsed();
+            let s = &outcome.summary;
+            let events = dispatcher.events_processed();
+            table.add_row([
+                n.to_string(),
+                taskset.len().to_string(),
+                fmt_num(s.throughput_jps, 0),
+                format!("{:.0}%", 100.0 * s.throughput_jps / taskset.offered_jps().max(1e-9)),
+                fmt_pct(s.high.deadline_miss_rate),
+                fmt_pct(s.low.deadline_miss_rate),
+                s.total.completed.to_string(),
+                events.to_string(),
+                format!("{:.0}", wall.as_secs_f64() * 1e3),
+                fmt_num(events as f64 / wall.as_secs_f64().max(1e-9), 0),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
 }
 
 /// Homogeneous vs heterogeneous fleets and first-fit-decreasing vs

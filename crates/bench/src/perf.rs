@@ -3,10 +3,16 @@
 //! recorded perf trajectory (and CI can gate on regressions).
 //!
 //! Sections cover both simulation layers the event-calendar core accelerates:
-//! single-device `reproduce_all`-style experiments and the `cluster_scaling`
-//! sweep at 1/2/4/8 devices. Each section reports wall-clock milliseconds,
-//! simulated events processed, events per wall-second, and completed jobs;
-//! each run additionally records the process peak RSS.
+//! single-device `reproduce_all`-style experiments, the classic
+//! `cluster_scaling` fixed-workload sweep at 1/2/4/8 devices, and the wide
+//! fleet sweeps (16/64 homogeneous devices and a 64-device heterogeneous
+//! a100/h100/orin mix, workload scaled with the fleet). When a harness run is
+//! given `threads > 1`, each wide sweep is timed twice — serial and fanned
+//! out to the dispatcher's worker pool — so the artifact records the
+//! serial-vs-parallel speedup *and* the (identical) completed-job counts that
+//! prove the parallel path is deterministic. Each section reports wall-clock
+//! milliseconds, simulated events processed, events per wall-second, and
+//! completed jobs; each run additionally records the process peak RSS.
 //!
 //! No serde is available offline, so the JSON is emitted by hand and the
 //! baseline checker parses the one-key-per-line format this module writes.
@@ -19,7 +25,7 @@ use daris_gpu::{GpuSpec, SimTime};
 use daris_models::DnnKind;
 use daris_workload::TaskSet;
 
-use crate::cluster_taskset;
+use crate::{cluster_taskset, cluster_taskset_scaled};
 
 /// One timed section of the perf harness.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +49,9 @@ pub struct PerfRun {
     pub label: String,
     /// Simulated horizon per section, in milliseconds.
     pub horizon_ms: u64,
+    /// Worker threads the `*_par` sections fanned device stepping out to
+    /// (1 = the run had no parallel sections).
+    pub threads: usize,
     /// Process peak RSS in bytes after all sections ran (0 if unavailable).
     pub peak_rss_bytes: u64,
     /// The timed sections.
@@ -75,22 +84,87 @@ fn single_device_section(name: &str, taskset: &TaskSet, horizon: SimTime) -> Sec
 }
 
 fn cluster_section(name: &str, devices: usize, horizon: SimTime) -> SectionResult {
+    let taskset = cluster_taskset();
+    run_cluster_section(
+        name,
+        &taskset,
+        ClusterSpec::homogeneous(devices, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0)),
+        1,
+        horizon,
+    )
+}
+
+fn run_cluster_section(
+    name: &str,
+    taskset: &TaskSet,
+    fleet: ClusterSpec,
+    threads: usize,
+    horizon: SimTime,
+) -> SectionResult {
     time_section(name, move || {
-        let taskset = cluster_taskset();
-        let fleet =
-            ClusterSpec::homogeneous(devices, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
-        let config =
-            ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
-        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, config)
+        let config = ClusterConfig {
+            strategy: PlacementStrategy::GreedyBalance,
+            threads,
+            ..Default::default()
+        };
+        let mut dispatcher = ClusterDispatcher::new(taskset, fleet, config)
             .expect("valid perf cluster configuration");
         let outcome = dispatcher.run_until(horizon);
         (dispatcher.events_processed(), outcome.summary.total.completed as u64)
     })
 }
 
+/// The wide fleet sweeps: `devices`-sized homogeneous and heterogeneous
+/// fleets on a workload scaled with the fleet, at 1 thread and — when
+/// `threads > 1` — again at `threads` (the `_par` twin sections, whose
+/// completed-job counts must match the serial ones exactly).
+fn wide_sections(threads: usize, horizon: SimTime, sections: &mut Vec<SectionResult>) {
+    for devices in [16usize, 64] {
+        let taskset = cluster_taskset_scaled(devices);
+        let homogeneous =
+            || ClusterSpec::homogeneous(devices, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+        sections.push(run_cluster_section(
+            &format!("cluster_scaling_{devices}dev"),
+            &taskset,
+            homogeneous(),
+            1,
+            horizon,
+        ));
+        if threads > 1 {
+            sections.push(run_cluster_section(
+                &format!("cluster_scaling_{devices}dev_par"),
+                &taskset,
+                homogeneous(),
+                threads,
+                horizon,
+            ));
+        }
+    }
+    let hetero_taskset = cluster_taskset_scaled(64);
+    sections.push(run_cluster_section(
+        "cluster_hetero_64dev",
+        &hetero_taskset,
+        ClusterSpec::heterogeneous_mix(64),
+        1,
+        horizon,
+    ));
+    if threads > 1 {
+        sections.push(run_cluster_section(
+            "cluster_hetero_64dev_par",
+            &hetero_taskset,
+            ClusterSpec::heterogeneous_mix(64),
+            threads,
+            horizon,
+        ));
+    }
+}
+
 /// Runs every perf section at `horizon` and returns the labelled run.
-pub fn run_perf(label: &str, horizon: SimTime) -> PerfRun {
-    let sections = vec![
+/// `threads > 1` adds the `_par` twin of each wide fleet section, timed with
+/// device stepping fanned out to that many dispatcher worker threads.
+pub fn run_perf(label: &str, horizon: SimTime, threads: usize) -> PerfRun {
+    let threads = threads.max(1);
+    let mut sections = vec![
         single_device_section(
             "single_resnet18_mps6x6",
             &TaskSet::table2(DnnKind::ResNet18),
@@ -102,9 +176,11 @@ pub fn run_perf(label: &str, horizon: SimTime) -> PerfRun {
         cluster_section("cluster_scaling_4dev", 4, horizon),
         cluster_section("cluster_scaling_8dev", 8, horizon),
     ];
+    wide_sections(threads, horizon, &mut sections);
     PerfRun {
         label: label.to_owned(),
         horizon_ms: (horizon.as_millis_f64()) as u64,
+        threads,
         peak_rss_bytes: peak_rss_bytes(),
         sections,
     }
@@ -135,6 +211,7 @@ pub fn run_to_json(run: &PerfRun, indent: usize) -> String {
     out.push_str(&format!("{pad}{{\n"));
     out.push_str(&format!("{pad}  \"label\": \"{}\",\n", run.label));
     out.push_str(&format!("{pad}  \"horizon_ms\": {},\n", run.horizon_ms));
+    out.push_str(&format!("{pad}  \"threads\": {},\n", run.threads));
     out.push_str(&format!("{pad}  \"peak_rss_bytes\": {},\n", run.peak_rss_bytes));
     out.push_str(&format!("{pad}  \"sections\": [\n"));
     for (i, s) in run.sections.iter().enumerate() {
@@ -183,15 +260,26 @@ pub fn parse_sections(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// The events/sec regression factor the CI smoke gate tolerates: a section
+/// fails when it falls more than this factor below the checked-in baseline.
+/// Tightened from the initial 3× once the trajectory accumulated CI
+/// datapoints (the baseline rates are already halved for CI hardware slack).
+pub const CI_REGRESSION_FACTOR: f64 = 2.0;
+
 /// Compares a fresh run against a checked-in baseline: returns the failures
-/// (section, measured, floor) where measured events/sec fell more than 3×
-/// below the baseline. Sections missing from either side are skipped.
-pub fn regression_failures(run: &PerfRun, baseline_json: &str) -> Vec<(String, f64, f64)> {
+/// (section, measured, floor) where measured events/sec fell more than
+/// `factor` below the baseline. Sections missing from either side are
+/// skipped.
+pub fn regression_failures(
+    run: &PerfRun,
+    baseline_json: &str,
+    factor: f64,
+) -> Vec<(String, f64, f64)> {
     let baseline = parse_sections(baseline_json);
     let mut failures = Vec::new();
     for (name, base_eps) in baseline {
         let Some(section) = run.sections.iter().find(|s| s.name == name) else { continue };
-        let floor = base_eps / 3.0;
+        let floor = base_eps / factor.max(1.0);
         if section.events_per_sec < floor {
             failures.push((name, section.events_per_sec, floor));
         }
@@ -207,6 +295,7 @@ mod tests {
         PerfRun {
             label: "test".into(),
             horizon_ms: 50,
+            threads: 1,
             peak_rss_bytes: 1024,
             sections: vec![
                 SectionResult {
@@ -235,20 +324,30 @@ mod tests {
     }
 
     #[test]
-    fn regression_gate_uses_a_3x_floor() {
+    fn regression_gate_applies_the_requested_factor() {
         let run = sample_run();
         let baseline = runs_to_json(&[sample_run()]);
-        assert!(regression_failures(&run, &baseline).is_empty(), "same numbers pass");
+        assert!(
+            regression_failures(&run, &baseline, CI_REGRESSION_FACTOR).is_empty(),
+            "same numbers pass"
+        );
 
         let mut slow = sample_run();
-        slow.sections[0].events_per_sec = 100_000.0 / 3.1;
-        let failures = regression_failures(&slow, &baseline);
+        slow.sections[0].events_per_sec = 100_000.0 / 2.1;
+        let failures = regression_failures(&slow, &baseline, CI_REGRESSION_FACTOR);
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].0, "a");
+        assert!(
+            regression_failures(&slow, &baseline, 3.0).is_empty(),
+            "a looser factor tolerates the same run"
+        );
 
         let mut fine = sample_run();
-        fine.sections[0].events_per_sec = 100_000.0 / 2.9;
-        assert!(regression_failures(&fine, &baseline).is_empty(), "within 3x passes");
+        fine.sections[0].events_per_sec = 100_000.0 / 1.9;
+        assert!(
+            regression_failures(&fine, &baseline, CI_REGRESSION_FACTOR).is_empty(),
+            "within 2x passes"
+        );
     }
 
     #[test]
@@ -256,6 +355,6 @@ mod tests {
         let mut run = sample_run();
         run.sections.remove(1);
         let baseline = runs_to_json(&[sample_run()]);
-        assert!(regression_failures(&run, &baseline).is_empty());
+        assert!(regression_failures(&run, &baseline, CI_REGRESSION_FACTOR).is_empty());
     }
 }

@@ -1,43 +1,50 @@
-//! The cluster dispatcher: one DARIS scheduler per device, driven by a
-//! cluster-level **event calendar** on a single global arrival stream.
+//! The cluster dispatcher: one DARIS scheduler per device, coordinated
+//! through fixed-length **synchronization rounds** with the per-device
+//! simulation fanned out to a worker pool in between.
 //!
-//! The dispatcher is deliberately built from the *public* stepping API of
-//! [`DarisScheduler`] (`advance_to` / `try_release_job` / `dispatch_ready` /
-//! `finish`), issuing exactly the call sequence `run_until` issues
-//! internally — which is why a single-device cluster reproduces the
-//! single-GPU path bit for bit (a property test pins this down).
+//! # Round protocol
 //!
-//! # Wake-up protocol
-//!
-//! The run loop keeps a min-heap of `(next_event_time, device, epoch)`
-//! entries — one live entry per device with pending simulator work — and per
-//! round advances **only** the devices whose entry is due (plus, lazily, any
-//! device a release or migration is about to touch, caught up via
-//! [`ClusterDispatcher::catch_up`]). Idle devices are never polled or
-//! lockstep-advanced; their clocks trail behind and are fast-forwarded in one
-//! jump the next time an event, release, or migration lands on them (a
-//! trailing clock is unobservable: every scheduler decision — admission,
-//! queue backlog, idle streams, load fractions — is state-based, not
-//! clock-based, and `finish` aligns every device at the horizon). Entries are
-//! invalidated lazily by bumping the device's epoch after a round touches it,
-//! exactly like the GPU engine's item epochs.
-//!
-//! On top of per-device DARIS it adds two cluster-only behaviours:
+//! Simulated time is cut into rounds of [`ClusterConfig::sync_quantum`].
+//! Within a round `[t0, t1)` every device is **independent**: it runs its own
+//! event loop ([`DarisScheduler::run_span`]) over its own simulator events
+//! and the releases of its own placed tasks, each handled at its exact
+//! simulated time — the identical call sequence `run_until` issues on a
+//! single GPU, which is why a 1-device cluster reproduces the single-GPU
+//! path bit for bit (a property test pins this down). Devices only interact
+//! at round boundaries:
 //!
 //! * **cluster-wide admission** — a job whose home device's admission test
-//!   (Eq. 11–12) rejects it is retried on the remaining devices in
-//!   ascending-load order, adopting the task as a *guest* on first contact;
-//!   only when every device refuses is the rejection charged to the home
-//!   device;
-//! * **stage-boundary migration** — after each dispatch round, queued jobs
-//!   that have not started their first stage are pulled from devices with a
-//!   backlog and no idle streams onto devices that are sitting idle.
+//!   (Eq. 11–12) rejected it mid-round is retried at the boundary on the
+//!   least-loaded [`ClusterConfig::retry_fanout`] other devices, adopting
+//!   the task as a *guest* on first contact; only when every consulted
+//!   device refuses is the rejection charged to the home device;
+//! * **stage-boundary migration** — queued jobs that have not started their
+//!   first stage are pulled from devices with a backlog and no idle streams
+//!   onto devices that are sitting idle.
+//!
+//! # Parallel stepping, deterministic join
+//!
+//! Because a round's per-device work touches nothing but that device's own
+//! scheduler and arrival stream, the dispatcher fans the device spans out to
+//! a `std::thread::scope` worker pool ([`ClusterConfig::threads`]), dealing
+//! devices round-robin to workers. Workers return per-device results
+//! (rejected releases) that are merged back in fixed device-index order, so
+//! completions, retries, migrations and metrics are **byte-identical at any
+//! thread count** — thread scheduling can reorder the wall-clock execution
+//! but never the simulated outcome. Scheduler construction is fanned out the
+//! same way.
+//!
+//! Idle devices still cost nothing: a device with no due event and no due
+//! release is skipped and its clock trails behind, which is unobservable —
+//! every scheduler decision (admission, backlog, idle streams, load
+//! fractions) is state-based, not clock-based — until a retry or migration
+//! lands on it and [`ClusterDispatcher::catch_up`] fast-forwards it in one
+//! jump; `finish` aligns every device at the horizon.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
-use daris_gpu::{GpuSpec, SimTime};
+use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_metrics::MetricsCollector;
 use daris_workload::{ArrivalStream, Job, TaskId, TaskSet};
 
@@ -45,8 +52,8 @@ use crate::{
     place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
 };
 
-/// Upper bound on migrations per simulation step, a guard against pathological
-/// ping-ponging (in practice a step moves at most a few jobs).
+/// Upper bound on migrations per synchronization round, a guard against
+/// pathological ping-ponging (in practice a round moves at most a few jobs).
 const MAX_MIGRATIONS_PER_STEP: usize = 8;
 
 /// Cluster-level scheduling configuration, shared by every device scheduler.
@@ -65,9 +72,26 @@ pub struct ClusterConfig {
     /// Migrate queued jobs from overloaded to idle devices.
     pub migration: bool,
     /// Device the model profiles are calibrated against (the paper's
-    /// measurement device). Pinned fleet-wide so heterogeneous speed
-    /// differences emerge from the simulation.
+    /// measurement device). Pinned fleet-wide so hardware speed emerges from
+    /// the simulation instead of being re-calibrated away.
     pub reference_gpu: GpuSpec,
+    /// Worker threads the dispatcher fans per-device simulation out to
+    /// between synchronization rounds (and during construction). `1` runs
+    /// serially on the caller's thread. Results are byte-identical at every
+    /// thread count.
+    pub threads: usize,
+    /// Length of one synchronization round: how often rejected releases are
+    /// retried cluster-wide and queued jobs may migrate. Shorter rounds react
+    /// faster but synchronize (and, when `threads > 1`, fork/join) more
+    /// often. Must not be zero (clamped to 1 ns).
+    pub sync_quantum: SimDuration,
+    /// How many other devices (ascending active-load order) a rejected job is
+    /// retried on before the rejection is charged. Saturated fleets reject on
+    /// the least-loaded device almost iff they reject everywhere, so a small
+    /// fan-out keeps the boundary serial work O(1) per rejection instead of
+    /// O(fleet). `usize::MAX` restores exhaustive retries; `0` disables
+    /// retries entirely (like `cluster_admission: false`).
+    pub retry_fanout: usize,
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +104,9 @@ impl Default for ClusterConfig {
             cluster_admission: true,
             migration: true,
             reference_gpu: GpuSpec::rtx_2080_ti(),
+            threads: 1,
+            sync_quantum: SimDuration::from_millis(1),
+            retry_fanout: 4,
         }
     }
 }
@@ -135,37 +162,74 @@ fn localize(mut job: Job, local: TaskId) -> Job {
 
 impl ClusterDispatcher {
     /// Places `taskset` on `cluster` and builds one scheduler per device
-    /// that received tasks.
+    /// that received tasks. With `config.threads > 1` the (independent,
+    /// profiling-heavy) per-device scheduler builds run on a scoped worker
+    /// pool; results and errors are collected in device order.
     ///
     /// # Errors
     ///
     /// Fails on an empty cluster or task set, an infeasible device
     /// partition, or a device scheduler that cannot be built (e.g. a plan
     /// whose model weights exceed device memory — the placement engine's
-    /// accounting prevents this for the shipped specs).
+    /// accounting prevents this for the shipped specs). With several failing
+    /// devices, the error reported is the lowest-indexed one.
     pub fn new(taskset: &TaskSet, cluster: ClusterSpec, config: ClusterConfig) -> Result<Self> {
         cluster.validate()?;
         if taskset.is_empty() {
             return Err(ClusterError::EmptyTaskSet);
         }
         let placement = place(taskset, &cluster, config.strategy, &config.reference_gpu);
-        let mut devices = Vec::with_capacity(cluster.len());
-        for (spec, plan) in cluster.devices().iter().zip(&placement.plans) {
-            let scheduler = if plan.taskset.is_empty() {
-                None
-            } else {
-                let mut device_config = DarisConfig::new(spec.partition)
-                    .with_gpu(spec.gpu.clone())
-                    .with_reference_calibration(config.reference_gpu.clone())
-                    .with_window_size(config.window_size)
-                    .with_ablation(config.ablation);
-                if config.hp_admission {
-                    device_config = device_config.with_hp_admission();
+
+        let build_one = |device: usize| -> Result<Option<DarisScheduler>> {
+            let spec = &cluster.devices()[device];
+            let plan = &placement.plans[device];
+            if plan.taskset.is_empty() {
+                return Ok(None);
+            }
+            let mut device_config = DarisConfig::new(spec.partition)
+                .with_gpu(spec.gpu.clone())
+                .with_reference_calibration(config.reference_gpu.clone())
+                .with_window_size(config.window_size)
+                .with_ablation(config.ablation);
+            if config.hp_admission {
+                device_config = device_config.with_hp_admission();
+            }
+            DarisScheduler::new(&plan.taskset, device_config)
+                .map(Some)
+                .map_err(|source| ClusterError::Scheduler { device: spec.name.clone(), source })
+        };
+
+        let n = cluster.len();
+        let workers = config.threads.max(1).min(n);
+        let mut built: Vec<Option<Result<Option<DarisScheduler>>>> = Vec::new();
+        built.resize_with(n, || None);
+        if workers <= 1 {
+            for (device, slot) in built.iter_mut().enumerate() {
+                *slot = Some(build_one(device));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let build_one = &build_one;
+                        scope.spawn(move || {
+                            (w..n).step_by(workers).map(|d| (d, build_one(d))).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (device, result) in handle.join().expect("scheduler build panicked") {
+                        built[device] = Some(result);
+                    }
                 }
-                Some(DarisScheduler::new(&plan.taskset, device_config).map_err(|source| {
-                    ClusterError::Scheduler { device: spec.name.clone(), source }
-                })?)
-            };
+            });
+        }
+
+        let mut devices = Vec::with_capacity(n);
+        for (result, (spec, plan)) in
+            built.into_iter().zip(cluster.devices().iter().zip(&placement.plans))
+        {
+            let scheduler = result.expect("every device was built")?;
             let local_of_global = plan
                 .task_indices
                 .iter()
@@ -207,83 +271,45 @@ impl ClusterDispatcher {
     /// Runs the fleet until `horizon` and returns per-device and aggregate
     /// outcomes. Call once per dispatcher.
     pub fn run_until(&mut self, horizon: SimTime) -> ClusterOutcome {
-        // Arrivals are pulled lazily (O(tasks) memory, not O(horizon)).
-        let taskset = self.taskset.clone();
-        let mut arrivals = ArrivalStream::new(&taskset, horizon);
-
-        // The cluster calendar: at most one *live* `(time, device, epoch)`
-        // entry per device; stale epochs are discarded when they surface.
-        let mut calendar: BinaryHeap<Reverse<(SimTime, usize, u64)>> = BinaryHeap::new();
-        let mut epochs: Vec<u64> = vec![0; self.devices.len()];
-        for (d, device) in self.devices.iter().enumerate() {
-            if let Some(t) = device.scheduler.as_ref().and_then(DarisScheduler::next_event_time) {
-                calendar.push(Reverse((t, d, 0)));
-            }
+        // Releases of tasks no device could take are known a priori (arrivals
+        // do not depend on simulation state); account them up front.
+        let unplaced_tasks = TaskSet::preserving_phases(
+            self.placement.rejected.iter().map(|id| self.taskset.tasks()[id.index()].clone()),
+        );
+        for job in ArrivalStream::new(&unplaced_tasks, horizon) {
+            self.unplaced.record_rejection(&job);
         }
-        let mut touched: Vec<bool> = vec![false; self.devices.len()];
 
-        loop {
-            let cluster_next = loop {
-                match calendar.peek() {
-                    Some(&Reverse((_, d, e))) if e != epochs[d] => {
-                        calendar.pop();
-                    }
-                    Some(&Reverse((t, _, _))) => break Some(t),
-                    None => break None,
-                }
-            };
-            let step_to = match (arrivals.next_release(), cluster_next) {
-                (Some(r), Some(g)) => r.min(g),
-                (Some(r), None) => r,
-                (None, Some(g)) => g,
-                (None, None) => break,
-            };
-            if step_to > horizon {
+        // One lazy arrival stream per device over its placed tasks (local
+        // ids; placement built the local sets with
+        // `TaskSet::preserving_phases`, so the per-device streams together
+        // reproduce the global release times exactly).
+        let device_tasksets: Vec<TaskSet> =
+            self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
+        let mut streams: Vec<ArrivalStream<'_>> =
+            device_tasksets.iter().map(|ts| ArrivalStream::new(ts, horizon)).collect();
+
+        let quantum = self.config.sync_quantum.max(SimDuration::from_nanos(1));
+        let mut t0 = SimTime::ZERO;
+        while t0 < horizon {
+            // A drained fleet (no pending releases, no pending events) can
+            // never create new work at a boundary — stop striding rounds
+            // instead of scanning the fleet horizon/quantum more times.
+            let drained = streams.iter().all(|s| s.next_release().is_none())
+                && self
+                    .devices
+                    .iter()
+                    .all(|d| d.scheduler.as_ref().map_or(true, |s| s.next_event_time().is_none()));
+            if drained {
                 break;
             }
-            touched.iter_mut().for_each(|t| *t = false);
-
-            // Advance only the devices with an event due at `step_to`.
-            while let Some(&Reverse((t, d, e))) = calendar.peek() {
-                if e != epochs[d] {
-                    calendar.pop();
-                    continue;
-                }
-                if t > step_to {
-                    break;
-                }
-                calendar.pop();
-                self.catch_up(d, step_to);
-                touched[d] = true;
-            }
-            while arrivals.next_release().map(|r| r <= step_to).unwrap_or(false) {
-                let job = arrivals.next().expect("a pending release was peeked");
-                self.route_release(job, step_to, &mut touched);
-            }
-            // Untouched devices cannot have dispatchable work: their queues
-            // and stream occupancy only change when an event, release, or
-            // migration touches them.
-            for (device, _) in
-                self.devices.iter_mut().zip(&touched).filter(|(_, touched)| **touched)
-            {
-                if let Some(scheduler) = device.scheduler.as_mut() {
-                    scheduler.dispatch_ready();
-                }
-            }
+            let t1 = t0.saturating_add(quantum).min(horizon);
+            let rejected = self.span_fleet(&mut streams, t1);
+            self.retry_rejections(rejected, t1);
             if self.config.migration {
-                self.rebalance(step_to, &mut touched);
+                self.rebalance(t1);
             }
-            // Re-arm the calendar for every device this round touched.
-            for (d, device) in self.devices.iter().enumerate() {
-                if !touched[d] {
-                    continue;
-                }
-                epochs[d] += 1;
-                if let Some(t) = device.scheduler.as_ref().and_then(DarisScheduler::next_event_time)
-                {
-                    calendar.push(Reverse((t, d, epochs[d])));
-                }
-            }
+            t0 = t1;
         }
 
         let outcomes: Vec<DeviceOutcome> = self
@@ -314,70 +340,142 @@ impl ClusterDispatcher {
         ClusterOutcome { summary, devices: outcomes }
     }
 
-    /// Fast-forwards a trailing device's clock to `to` (a no-op for devices
-    /// that are already current). Devices are only caught up when an event,
-    /// release, or migration actually lands on them, so idle devices cost
-    /// nothing per round.
-    fn catch_up(&mut self, device: usize, to: SimTime) {
-        if let Some(scheduler) = self.devices[device].scheduler.as_mut() {
-            if scheduler.now() < to {
-                scheduler.advance_to(to);
+    /// Runs one synchronization round: every device with a due event or
+    /// release simulates `[its clock, until)` independently, fanned out to
+    /// scoped worker threads when configured. Returns the releases each
+    /// home device rejected, merged in ascending device order (the
+    /// deterministic join — worker timing cannot reorder it).
+    fn span_fleet(
+        &mut self,
+        streams: &mut [ArrivalStream<'_>],
+        until: SimTime,
+    ) -> Vec<(usize, Vec<Job>)> {
+        let threads = self.config.threads.max(1);
+        let mut due: Vec<(usize, &mut DarisScheduler, &mut ArrivalStream<'_>)> = Vec::new();
+        for ((d, device), stream) in self.devices.iter_mut().enumerate().zip(streams.iter_mut()) {
+            let Some(scheduler) = device.scheduler.as_mut() else { continue };
+            let event_due = scheduler.next_event_time().is_some_and(|t| t < until);
+            let release_due = stream.next_release().is_some_and(|r| r < until);
+            if event_due || release_due {
+                due.push((d, scheduler, stream));
+            }
+        }
+
+        let span = |d: usize, scheduler: &mut DarisScheduler, stream: &mut ArrivalStream<'_>| {
+            let mut rejected = Vec::new();
+            scheduler.run_span(stream, until, &mut rejected);
+            (d, rejected)
+        };
+
+        let mut out: Vec<(usize, Vec<Job>)> = if threads <= 1 || due.len() < 2 {
+            due.into_iter().map(|(d, sch, st)| span(d, sch, st)).collect()
+        } else {
+            // Deal devices round-robin to one bucket per worker; each worker
+            // only touches its own devices' state.
+            let workers = threads.min(due.len());
+            let mut buckets: Vec<Vec<(usize, &mut DarisScheduler, &mut ArrivalStream<'_>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (k, item) in due.into_iter().enumerate() {
+                buckets[k % workers].push(item);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        let span = &span;
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(d, sch, st)| span(d, sch, st))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("span worker panicked")).collect()
+            })
+        };
+        out.retain(|(_, rejected)| !rejected.is_empty());
+        out.sort_by_key(|(d, _)| *d);
+        out
+    }
+
+    /// Retries the round's home-rejected releases cluster-wide (in device
+    /// order, then release order): each job is offered to the
+    /// `retry_fanout` least-loaded other devices, adopting the task as a
+    /// guest on first contact; if every consulted device refuses, the
+    /// rejection is charged to the home device — each job is accounted
+    /// exactly once.
+    fn retry_rejections(&mut self, rejected: Vec<(usize, Vec<Job>)>, now: SimTime) {
+        for (home, jobs) in rejected {
+            for job in jobs {
+                let global = self.devices[home].global_of_local[job.id.task.index()];
+                let mut admitted = false;
+                if self.config.cluster_admission && self.config.retry_fanout > 0 {
+                    // Loads are re-read per job (an admitted retry changes the
+                    // receiver's load), but only the `retry_fanout` least
+                    // loaded candidates are ordered: a partial selection keeps
+                    // this O(fleet + fanout log fanout) instead of a full
+                    // O(fleet log fleet) sort per rejection.
+                    let load = |d: usize| {
+                        self.devices[d]
+                            .scheduler
+                            .as_ref()
+                            .map(DarisScheduler::active_load_fraction)
+                            .unwrap_or(f64::INFINITY)
+                    };
+                    let mut candidates: Vec<(f64, usize)> = (0..self.devices.len())
+                        .filter(|&d| d != home && self.devices[d].scheduler.is_some())
+                        .map(|d| (load(d), d))
+                        .collect();
+                    let fanout = self.config.retry_fanout.min(candidates.len());
+                    let by_load = |a: &(f64, usize), b: &(f64, usize)| {
+                        a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+                    };
+                    if fanout < candidates.len() {
+                        candidates.select_nth_unstable_by(fanout, by_load);
+                        candidates.truncate(fanout);
+                    }
+                    candidates.sort_by(by_load);
+                    for (_, device) in candidates {
+                        let Some(local) = self.local_id_on(device, global) else { continue };
+                        self.catch_up(device, now);
+                        let scheduler = self.devices[device]
+                            .scheduler
+                            .as_mut()
+                            .expect("candidate has a scheduler");
+                        if scheduler.try_release_job(localize(job, local)) {
+                            scheduler.dispatch_ready();
+                            self.cluster_admissions += 1;
+                            admitted = true;
+                            break;
+                        }
+                    }
+                }
+                if !admitted {
+                    self.devices[home]
+                        .scheduler
+                        .as_mut()
+                        .expect("home device has a scheduler")
+                        .reject_job(&job);
+                }
             }
         }
     }
 
-    /// Routes one release: home device first, then (for jobs the home
-    /// admission test rejects) every other device in ascending-load order;
-    /// only when the whole fleet refuses is the rejection recorded — on the
-    /// home device, so each job is accounted exactly once. Every device the
-    /// release touches is caught up to `now` first and marked in `touched`.
-    fn route_release(&mut self, job: Job, now: SimTime, touched: &mut [bool]) {
-        let global = job.id.task.index();
-        let Some(home) = self.placement.device_of[global] else {
-            self.unplaced.record_rejection(&job);
-            return;
-        };
-        let home_local = self.devices[home].local_of_global[&global];
-        let home_job = localize(job, home_local);
-        self.catch_up(home, now);
-        touched[home] = true;
-        let admitted = self.devices[home]
-            .scheduler
-            .as_mut()
-            .expect("home device has a scheduler")
-            .try_release_job(home_job);
-        if admitted {
-            return;
-        }
-        if self.config.cluster_admission {
-            let mut candidates: Vec<usize> = (0..self.devices.len())
-                .filter(|&d| d != home && self.devices[d].scheduler.is_some())
-                .collect();
-            let load = |d: usize| {
-                self.devices[d]
-                    .scheduler
-                    .as_ref()
-                    .map(DarisScheduler::active_load_fraction)
-                    .unwrap_or(f64::INFINITY)
-            };
-            candidates.sort_by(|&a, &b| load(a).total_cmp(&load(b)).then_with(|| a.cmp(&b)));
-            for device in candidates {
-                let Some(local) = self.local_id_on(device, global) else { continue };
-                self.catch_up(device, now);
-                touched[device] = true;
-                let scheduler =
-                    self.devices[device].scheduler.as_mut().expect("candidate has a scheduler");
-                if scheduler.try_release_job(localize(job, local)) {
-                    self.cluster_admissions += 1;
-                    return;
-                }
+    /// Fast-forwards a trailing device's clock to `to` (a no-op for devices
+    /// that are already current). Devices are only caught up when a retried
+    /// release or a migration actually lands on them, so idle devices cost
+    /// nothing per round. `advance_to` is *inclusive*, so a completion
+    /// sitting exactly on the boundary is consumed here — dispatching right
+    /// after keeps its freed stream from stranding queued stages (this is
+    /// exactly what the device's own span would have done at `to`).
+    fn catch_up(&mut self, device: usize, to: SimTime) {
+        if let Some(scheduler) = self.devices[device].scheduler.as_mut() {
+            if scheduler.now() < to {
+                scheduler.advance_to(to);
+                scheduler.dispatch_ready();
             }
         }
-        self.devices[home]
-            .scheduler
-            .as_mut()
-            .expect("home device has a scheduler")
-            .reject_job(&home_job);
     }
 
     /// The local id of global task `global` on `device`, adopting the task
@@ -405,8 +503,8 @@ impl ClusterDispatcher {
     /// serve (no idle stream) and another device sits idle, move queued
     /// not-yet-started jobs over (least urgent first, admission-tested on
     /// the receiver). Devices a migration lands on are caught up to `now`
-    /// and marked in `touched`.
-    fn rebalance(&mut self, now: SimTime, touched: &mut [bool]) {
+    /// first.
+    fn rebalance(&mut self, now: SimTime) {
         for _ in 0..MAX_MIGRATIONS_PER_STEP {
             let backlog = |d: &DeviceRuntime| {
                 d.scheduler.as_ref().map(DarisScheduler::queue_backlog).unwrap_or(0)
@@ -456,8 +554,6 @@ impl ClusterDispatcher {
                 };
                 self.catch_up(src, now);
                 self.catch_up(dst, now);
-                touched[src] = true;
-                touched[dst] = true;
                 let dst_scheduler =
                     self.devices[dst].scheduler.as_mut().expect("dst has a scheduler");
                 if dst_scheduler.try_release_job(localize(withdrawn, dst_local)) {

@@ -16,10 +16,13 @@
 //!   by its SM ratio and its weight-memory budget), with a greedy-balance
 //!   alternative for comparison. Every task ends up *placed* on exactly one
 //!   device or *explicitly rejected*.
-//! * [`ClusterDispatcher`] — steps all per-device schedulers in lockstep on
-//!   one global arrival plan; a low-priority job rejected by its home
-//!   device's admission test (Eq. 11–12) is retried on the next-best device
-//!   before being rejected for good, and queued-but-unstarted jobs migrate
+//! * [`ClusterDispatcher`] — drives one scheduler per device through fixed
+//!   synchronization rounds, fanning the independent per-device simulation
+//!   out to a scoped worker pool (`ClusterConfig::threads`) with a
+//!   deterministic device-order join, so results are byte-identical at any
+//!   thread count; a low-priority job rejected by its home device's
+//!   admission test (Eq. 11–12) is retried on the least-loaded other
+//!   devices at the round boundary, and queued-but-unstarted jobs migrate
 //!   from overloaded devices to idle ones at stage boundaries.
 //! * [`ClusterSummary`] — per-device
 //!   [`ExperimentSummary`](daris_metrics::ExperimentSummary)s aggregated

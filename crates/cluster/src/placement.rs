@@ -158,7 +158,12 @@ pub fn place(
         .map(|d| {
             let task_indices: Vec<usize> =
                 (0..taskset.len()).filter(|&i| device_of[i] == Some(d)).collect();
-            let local: TaskSet = task_indices.iter().map(|&i| taskset.tasks()[i].clone()).collect();
+            // Phases must survive sub-setting: the dispatcher feeds each
+            // device an arrival stream over its local set, and those streams
+            // together must reproduce the global release times exactly.
+            let local = TaskSet::preserving_phases(
+                task_indices.iter().map(|&i| taskset.tasks()[i].clone()),
+            );
             DevicePlan {
                 device: d,
                 taskset: local,

@@ -88,6 +88,27 @@ impl ClusterSpec {
             .with_device(DeviceSpec::new("orin-0", GpuSpec::orin(), GpuPartition::str_streams(4)))
     }
 
+    /// A heterogeneous fleet of `n` devices cycling through the data-center
+    /// and embedded presets — A100, H100, Orin — used by the 16–64-device
+    /// scaling sweeps. Seeds are decorrelated per device (device 0 keeps the
+    /// preset's own seed, like [`homogeneous`](Self::homogeneous)).
+    pub fn heterogeneous_mix(n: usize) -> Self {
+        let presets: [(&str, GpuSpec, GpuPartition); 3] = [
+            ("a100", GpuSpec::a100(), GpuPartition::mps(8, 8.0)),
+            ("h100", GpuSpec::h100(), GpuPartition::mps(10, 10.0)),
+            ("orin", GpuSpec::orin(), GpuPartition::str_streams(4)),
+        ];
+        let mut cluster = ClusterSpec::new();
+        for i in 0..n {
+            let (name, gpu, partition) = &presets[i % presets.len()];
+            let seed = gpu.jitter_seed.wrapping_add(i as u64);
+            let device_gpu = gpu.clone().with_seed(seed);
+            cluster =
+                cluster.with_device(DeviceSpec::new(format!("{name}-{i}"), device_gpu, *partition));
+        }
+        cluster
+    }
+
     /// The devices in fleet order.
     pub fn devices(&self) -> &[DeviceSpec] {
         &self.devices

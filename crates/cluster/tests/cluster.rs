@@ -9,9 +9,14 @@
 //!   devices on a fixed oversized task set while high-priority deadline
 //!   protection holds fleet-wide;
 //! * every released job is accounted exactly once, no matter how often it
-//!   is retried or migrated across devices.
+//!   is retried or migrated across devices;
+//! * parallel device stepping is byte-identical to serial stepping: the same
+//!   run at any `threads` count produces the same `ClusterOutcome` (a
+//!   property test over random task sets and fleets, plus a repeated-run
+//!   hash check on an 8-device heterogeneous scenario).
 
 use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 use daris_cluster::{
     place, utilization_estimates, ClusterConfig, ClusterDispatcher, ClusterSpec, DeviceSpec,
@@ -56,6 +61,21 @@ fn random_fleet(seed: u64, n_devices: usize) -> ClusterSpec {
         fleet = fleet.with_device(DeviceSpec::new(format!("d{i}"), gpu, partition));
     }
     fleet
+}
+
+/// Test horizon in milliseconds: `default_ms` capped by `DARIS_HORIZON_MS`
+/// (the same semantics as `daris_bench::horizon_capped_ms`, replicated here
+/// because `daris-cluster` sits below the bench crate).
+fn horizon_capped_ms(default_ms: u64) -> u64 {
+    match std::env::var("DARIS_HORIZON_MS") {
+        Ok(value) => {
+            let cap: u64 = value.trim().parse().unwrap_or_else(|_| {
+                panic!("DARIS_HORIZON_MS must be a whole number, got {value:?}")
+            });
+            default_ms.min(cap.max(50))
+        }
+        Err(_) => default_ms,
+    }
 }
 
 proptest! {
@@ -105,6 +125,76 @@ proptest! {
             sorted.sort_unstable();
             prop_assert_eq!(&sorted, &plan.task_indices);
             prop_assert_eq!(plan.taskset.len(), plan.task_indices.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Parallel device stepping is byte-identical to the serial path: fanning
+    /// the per-device spans out to any number of worker threads never changes
+    /// any per-device summary, any aggregate count, or the retry/migration
+    /// tallies. This is the contract the deterministic device-order join
+    /// guarantees.
+    #[test]
+    fn parallel_stepping_is_byte_identical_to_serial(
+        seed in 0u64..1_000_000,
+        n_tasks in 4usize..40,
+        n_devices in 2usize..5,
+        threads in 2usize..9,
+    ) {
+        let taskset = random_taskset(seed, n_tasks);
+        let fleet = random_fleet(seed, n_devices);
+        let horizon = SimTime::from_millis(120);
+        let run = |threads: usize| {
+            let config = ClusterConfig { threads, ..Default::default() };
+            let mut dispatcher =
+                ClusterDispatcher::new(&taskset, fleet.clone(), config).expect("dispatcher builds");
+            dispatcher.run_until(horizon)
+        };
+        let serial = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(&serial.summary, &parallel.summary);
+        prop_assert_eq!(serial.devices.len(), parallel.devices.len());
+        for (s, p) in serial.devices.iter().zip(&parallel.devices) {
+            prop_assert_eq!(&s.name, &p.name);
+            prop_assert_eq!(&s.outcome.summary, &p.outcome.summary,
+                "device {} diverged between threads=1 and threads={}", s.name, threads);
+        }
+    }
+}
+
+#[test]
+fn repeated_hetero_runs_hash_identically_across_thread_counts() {
+    // The satellite determinism check: the same 8-device heterogeneous
+    // scenario, run 5 times at each thread count, must produce bit-identical
+    // `ClusterSummary`s — one hash over the Debug form catches any drift in
+    // counts, rates, or float accumulation order.
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
+    let fleet = ClusterSpec::heterogeneous_mix(8);
+    let horizon = SimTime::from_millis(horizon_capped_ms(300));
+    let hash_of = |threads: usize| {
+        let config = ClusterConfig { threads, ..Default::default() };
+        let mut dispatcher =
+            ClusterDispatcher::new(&taskset, fleet.clone(), config).expect("dispatcher builds");
+        let outcome = dispatcher.run_until(horizon);
+        assert!(outcome.summary.total.completed > 0, "scenario must do real work");
+        let mut hasher = DefaultHasher::new();
+        format!("{:?}", outcome.summary).hash(&mut hasher);
+        for device in &outcome.devices {
+            format!("{:?}", device.outcome.summary).hash(&mut hasher);
+        }
+        hasher.finish()
+    };
+    let reference = hash_of(1);
+    for threads in [1usize, 2, 8] {
+        for repeat in 0..5 {
+            assert_eq!(
+                hash_of(threads),
+                reference,
+                "run {repeat} at {threads} threads diverged from the serial reference"
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! job releases from the workload's arrival plan, stage completions from the
 //! GPU, admission/migration decisions, and stage dispatch.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use daris_gpu::{Gpu, SimDuration, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -80,6 +80,10 @@ pub struct DarisScheduler {
     /// Task index → context index (HP fixed; LP updated on migration).
     assignment: Vec<usize>,
     active: HashMap<JobId, ActiveJob>,
+    /// Active jobs indexed by context, in deterministic (job id) order, so
+    /// the admission path (`predicted_finish_us`) walks only the jobs of one
+    /// context instead of scanning every active job on the device.
+    active_of: Vec<BTreeSet<JobId>>,
     tag_map: HashMap<u64, (JobId, usize)>,
     next_tag: u64,
     metrics: MetricsCollector,
@@ -161,6 +165,7 @@ impl DarisScheduler {
             mret,
             assignment,
             active: HashMap::new(),
+            active_of: (0..n_contexts).map(|_| BTreeSet::new()).collect(),
             tag_map: HashMap::new(),
             next_tag: 0,
             metrics: MetricsCollector::new(),
@@ -206,28 +211,53 @@ impl DarisScheduler {
         // horizon instead of materializing every release up front.
         let taskset = self.taskset.clone();
         let mut arrivals = ArrivalStream::new(&taskset, horizon);
+        let mut rejected = Vec::new();
+        self.run_span(&mut arrivals, horizon, &mut rejected);
+        for job in &rejected {
+            self.reject_job(job);
+        }
+        self.finish(horizon)
+    }
 
+    /// Runs the device-local event loop — stage completions, releases from
+    /// `arrivals`, and stage dispatch, in exact time order — up to (but not
+    /// including) `until`. Releases the admission test rejects are pushed to
+    /// `rejected` instead of being recorded, so an external driver (the
+    /// cluster dispatcher) can retry them on other devices at the next
+    /// synchronization round; a standalone run charges them via
+    /// [`reject_job`](Self::reject_job).
+    ///
+    /// Everything strictly before `until` is handled at its exact simulated
+    /// time; events at or after `until` stay pending (they are processed by a
+    /// later span or by [`finish`](Self::finish)). Driving consecutive spans
+    /// is therefore byte-identical to one big span — the span boundary only
+    /// bounds how far this call simulates. This is the unit of work the
+    /// cluster dispatcher fans out to worker threads: the loop touches
+    /// nothing but this scheduler's own state.
+    pub fn run_span(
+        &mut self,
+        arrivals: &mut ArrivalStream<'_>,
+        until: SimTime,
+        rejected: &mut Vec<Job>,
+    ) {
         loop {
-            let next_release = arrivals.next_release();
-            let gpu_next = self.next_event_time();
+            let next_release = arrivals.next_release().filter(|r| *r < until);
+            let gpu_next = self.next_event_time().filter(|t| *t < until);
             let step_to = match (next_release, gpu_next) {
                 (Some(r), Some(g)) => r.min(g),
                 (Some(r), None) => r,
                 (None, Some(g)) => g,
                 (None, None) => break,
             };
-            if step_to > horizon {
-                break;
-            }
             self.advance_to(step_to);
             while arrivals.next_release().map(|r| r <= self.now).unwrap_or(false) {
                 let job = arrivals.next().expect("a pending release was peeked");
-                self.handle_release(job);
+                if !self.try_release_job(job) {
+                    rejected.push(job);
+                }
             }
             self.dispatch();
         }
-
-        self.finish(horizon)
     }
 
     // ----- external driving (cluster dispatcher) ----------------------------
@@ -394,6 +424,7 @@ impl DarisScheduler {
         let ready = self.ready_stage(&active);
         self.queues[context].push(ready);
         self.active.insert(job.id, active);
+        self.active_of[context].insert(job.id);
         true
     }
 
@@ -420,6 +451,7 @@ impl DarisScheduler {
             return None;
         }
         let active = self.active.remove(&job).expect("checked above");
+        self.active_of[context].remove(&job);
         self.loads[context].deactivate_job(job);
         self.metrics.forget(job);
         Some(active.job)
@@ -466,12 +498,6 @@ impl DarisScheduler {
 
     // ----- event handlers ---------------------------------------------------
 
-    fn handle_release(&mut self, job: Job) {
-        if !self.try_release_job(job) {
-            self.reject_job(&job);
-        }
-    }
-
     /// Admission test (Eq. 11–12) with migration: returns the context to run
     /// in, or `None` if every context rejects the job.
     fn admit(&self, task: &TaskSpec, priority: Priority, util: f64, home: usize) -> Option<usize> {
@@ -501,13 +527,16 @@ impl DarisScheduler {
     }
 
     /// Predicted time (µs from now) for context `ctx` to drain its currently
-    /// active jobs, assuming its streams share the backlog evenly.
+    /// active jobs, assuming its streams share the backlog evenly. Walks the
+    /// per-context active-job index (deterministic job-id order) instead of
+    /// scanning every active job on the device.
     fn predicted_finish_us(&self, ctx: usize) -> f64 {
-        let backlog: f64 = self
-            .active
-            .values()
-            .filter(|a| a.context == ctx)
-            .map(|a| self.mret.remaining_mret(a.job.id.task, a.next_stage).as_micros_f64())
+        let backlog: f64 = self.active_of[ctx]
+            .iter()
+            .map(|id| {
+                let a = &self.active[id];
+                self.mret.remaining_mret(a.job.id.task, a.next_stage).as_micros_f64()
+            })
             .sum();
         backlog / f64::from(self.config.partition.streams_per_context.max(1))
     }
@@ -564,6 +593,7 @@ impl DarisScheduler {
         } else {
             self.metrics.record_completion(&active.job, finished_at);
             self.loads[active.context].deactivate_job(job_id);
+            self.active_of[active.context].remove(&job_id);
         }
     }
 

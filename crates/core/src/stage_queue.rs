@@ -132,13 +132,12 @@ impl StageQueue {
 
     /// Removes every queued stage of `job` (a job has at most one stage
     /// queued at a time), returning whether anything was removed. Used when a
-    /// cluster dispatcher withdraws a queued job for migration.
+    /// cluster dispatcher withdraws a queued job for migration. Sequence
+    /// numbers are untouched, so FIFO ordering among the survivors holds.
     pub fn remove(&mut self, job: JobId) -> bool {
         let before = self.heap.len();
-        let retained: Vec<QueuedStage> = self.heap.drain().filter(|q| q.stage.job != job).collect();
-        let removed = retained.len() != before;
-        self.heap = retained.into();
-        removed
+        self.heap.retain(|q| q.stage.job != job);
+        self.heap.len() != before
     }
 
     /// Iterates over the queued stages in arbitrary (heap) order.

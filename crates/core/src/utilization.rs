@@ -1,7 +1,7 @@
 //! Per-context utilization accounting (Eq. 3–7) and the admission test
 //! (Eq. 11–12).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use daris_workload::{JobId, Priority, TaskId};
 
@@ -12,20 +12,43 @@ use daris_workload::{JobId, Priority, TaskId};
 /// * `active` low-priority utilization (Eq. 7) covers only LP jobs that have
 ///   been admitted and have not finished, and is what the online admission
 ///   test charges against.
+///
+/// Class totals are maintained incrementally (updated on every assign /
+/// activate / deactivate) so the admission test and the cluster load signal
+/// are O(1) instead of a map scan per query — the admission path is the
+/// dominant serial cost in overloaded fleets. Membership maps are `BTreeMap`s
+/// so any residual iteration is in deterministic key order.
 #[derive(Debug, Clone, Default)]
 pub struct ContextLoad {
     /// Streams available in this context (`Ns`), the admission-test capacity.
     streams: u32,
     /// Assigned utilization per task (both priorities), keyed by task.
-    assigned: HashMap<TaskId, (Priority, f64)>,
+    assigned: BTreeMap<TaskId, (Priority, f64)>,
     /// Active (admitted, unfinished) jobs and the utilization they charge.
-    active: HashMap<JobId, (Priority, f64)>,
+    active: BTreeMap<JobId, (Priority, f64)>,
+    /// Running totals: `[high, low]` assigned and active utilization. Each
+    /// add/remove contributes ~1 ulp of rounding error, so a class total is
+    /// snapped back to exactly 0.0 whenever its membership count drains —
+    /// the common oscillation (admit/complete around an empty context)
+    /// cannot accumulate drift.
+    assigned_sum: [f64; 2],
+    active_sum: [f64; 2],
+    /// Membership counts per class, `[high, low]`.
+    assigned_count: [usize; 2],
+    active_count: [usize; 2],
+}
+
+fn class(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Low => 1,
+    }
 }
 
 impl ContextLoad {
     /// Creates a load tracker for a context with `streams` streams.
     pub fn new(streams: u32) -> Self {
-        ContextLoad { streams, assigned: HashMap::new(), active: HashMap::new() }
+        ContextLoad { streams, ..ContextLoad::default() }
     }
 
     /// The context capacity used by the admission test (`Ns`).
@@ -36,18 +59,45 @@ impl ContextLoad {
     /// Assigns a task to this context with utilization `util` (offline phase
     /// or migration bookkeeping).
     pub fn assign_task(&mut self, task: TaskId, priority: Priority, util: f64) {
-        self.assigned.insert(task, (priority, util));
+        if let Some((prev_priority, prev_util)) = self.assigned.insert(task, (priority, util)) {
+            self.assigned_sum[class(prev_priority)] -= prev_util;
+            self.assigned_count[class(prev_priority)] -= 1;
+            self.snap_assigned(prev_priority);
+        }
+        self.assigned_sum[class(priority)] += util;
+        self.assigned_count[class(priority)] += 1;
     }
 
     /// Removes a task assignment (migration away from this context).
     pub fn unassign_task(&mut self, task: TaskId) {
-        self.assigned.remove(&task);
+        if let Some((priority, util)) = self.assigned.remove(&task) {
+            self.assigned_sum[class(priority)] -= util;
+            self.assigned_count[class(priority)] -= 1;
+            self.snap_assigned(priority);
+        }
+    }
+
+    /// Snaps an emptied class total back to exactly zero (rounding drift
+    /// from incremental add/remove would otherwise survive the drain).
+    fn snap_assigned(&mut self, priority: Priority) {
+        if self.assigned_count[class(priority)] == 0 {
+            self.assigned_sum[class(priority)] = 0.0;
+        }
+    }
+
+    /// The active-class counterpart of [`snap_assigned`](Self::snap_assigned).
+    fn snap_active(&mut self, priority: Priority) {
+        if self.active_count[class(priority)] == 0 {
+            self.active_sum[class(priority)] = 0.0;
+        }
     }
 
     /// Updates the recorded utilization of an assigned task (MRET drift).
     pub fn update_task_util(&mut self, task: TaskId, util: f64) {
         if let Some(entry) = self.assigned.get_mut(&task) {
+            let (priority, prev) = *entry;
             entry.1 = util;
+            self.assigned_sum[class(priority)] += util - prev;
         }
     }
 
@@ -59,32 +109,42 @@ impl ContextLoad {
     /// Total assigned utilization of one priority class
     /// (`U^{h,t}_k` / `U^{l,t}_k`, Eq. 4–5).
     pub fn assigned_util(&self, priority: Priority) -> f64 {
-        self.assigned.values().filter(|(p, _)| *p == priority).map(|(_, u)| u).sum()
+        self.assigned_sum[class(priority)]
     }
 
     /// Total assigned utilization (Eq. 6).
     pub fn total_util(&self) -> f64 {
-        self.assigned.values().map(|(_, u)| u).sum()
+        self.assigned_sum[0] + self.assigned_sum[1]
     }
 
     /// Registers an admitted job as active, charging `util`.
     pub fn activate_job(&mut self, job: JobId, priority: Priority, util: f64) {
-        self.active.insert(job, (priority, util));
+        if let Some((prev_priority, prev_util)) = self.active.insert(job, (priority, util)) {
+            self.active_sum[class(prev_priority)] -= prev_util;
+            self.active_count[class(prev_priority)] -= 1;
+            self.snap_active(prev_priority);
+        }
+        self.active_sum[class(priority)] += util;
+        self.active_count[class(priority)] += 1;
     }
 
     /// Releases an active job's utilization (completion or abandonment).
     pub fn deactivate_job(&mut self, job: JobId) {
-        self.active.remove(&job);
+        if let Some((priority, util)) = self.active.remove(&job) {
+            self.active_sum[class(priority)] -= util;
+            self.active_count[class(priority)] -= 1;
+            self.snap_active(priority);
+        }
     }
 
     /// Active utilization of one priority class (`U^{l,a}_k` for LP, Eq. 7).
     pub fn active_util(&self, priority: Priority) -> f64 {
-        self.active.values().filter(|(p, _)| *p == priority).map(|(_, u)| u).sum()
+        self.active_sum[class(priority)]
     }
 
     /// Number of active jobs of a priority class.
     pub fn active_jobs(&self, priority: Priority) -> usize {
-        self.active.values().filter(|(p, _)| *p == priority).count()
+        self.active_count[class(priority)]
     }
 
     /// Remaining utilization available to LP jobs (Eq. 11):
@@ -165,5 +225,46 @@ mod tests {
         assert!(load.admits_lp(2.9));
         assert!(!load.admits_lp(3.0));
         assert_eq!(load.active_jobs(Priority::High), 0);
+    }
+
+    #[test]
+    fn running_sums_track_reassignments_and_reactivations() {
+        let mut load = ContextLoad::new(4);
+        // Re-assigning a task replaces its charge instead of double-counting.
+        load.assign_task(TaskId(0), Priority::Low, 0.5);
+        load.assign_task(TaskId(0), Priority::High, 0.2);
+        assert!((load.assigned_util(Priority::Low) - 0.0).abs() < 1e-12);
+        assert!((load.assigned_util(Priority::High) - 0.2).abs() < 1e-12);
+        // Re-activating a job likewise replaces the old charge.
+        load.activate_job(job(0, 0), Priority::Low, 0.3);
+        load.activate_job(job(0, 0), Priority::Low, 0.7);
+        assert!((load.active_util(Priority::Low) - 0.7).abs() < 1e-12);
+        assert_eq!(load.active_jobs(Priority::Low), 1);
+        // Deactivating an unknown job is a no-op.
+        load.deactivate_job(job(9, 9));
+        assert_eq!(load.active_jobs(Priority::Low), 1);
+    }
+
+    #[test]
+    fn drained_class_totals_snap_back_to_exact_zero() {
+        // Values whose sum is inexact in binary float: after add/remove the
+        // incremental total would be a few ulp off zero, which could flip a
+        // threshold comparison; draining the class must restore exact 0.0.
+        let mut load = ContextLoad::new(2);
+        for i in 0..1000u64 {
+            load.activate_job(job(0, i), Priority::Low, 0.1 + (i as f64) * 1e-3);
+        }
+        for i in 0..1000u64 {
+            load.deactivate_job(job(0, i));
+        }
+        assert_eq!(load.active_util(Priority::Low), 0.0, "no residual drift");
+        assert_eq!(load.active_jobs(Priority::Low), 0);
+        load.assign_task(TaskId(1), Priority::High, 0.3);
+        load.assign_task(TaskId(2), Priority::High, 0.0403);
+        load.unassign_task(TaskId(1));
+        load.unassign_task(TaskId(2));
+        assert_eq!(load.assigned_util(Priority::High), 0.0);
+        // An empty context admits exactly up to capacity again.
+        assert!(load.admits_lp(1.9999999999));
     }
 }

@@ -1,6 +1,6 @@
 //! Per-job outcome collection and experiment summaries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use daris_gpu::{SimDuration, SimTime};
 use daris_workload::{Job, JobId, Priority};
@@ -25,9 +25,14 @@ struct JobRecord {
 /// run count as *unfinished* (they are treated as accepted but are excluded
 /// from response-time statistics and counted as deadline misses if their
 /// deadline has passed by the summary horizon).
+///
+/// Records are kept in a `BTreeMap` so summarization iterates jobs in a
+/// deterministic order — response-time statistics involve floating-point
+/// sums, and a hash-map order would make the last bits of the mean depend on
+/// the map's per-instance hash seed.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsCollector {
-    jobs: HashMap<JobId, JobRecord>,
+    jobs: BTreeMap<JobId, JobRecord>,
 }
 
 impl MetricsCollector {
@@ -145,7 +150,7 @@ impl Accumulator {
         }
     }
 
-    fn merged(jobs: &HashMap<JobId, JobRecord>, horizon: SimTime) -> Accumulator {
+    fn merged(jobs: &BTreeMap<JobId, JobRecord>, horizon: SimTime) -> Accumulator {
         let mut acc = Accumulator::default();
         for record in jobs.values() {
             acc.add(record, horizon);

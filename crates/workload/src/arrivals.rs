@@ -24,6 +24,27 @@ pub enum ReleaseJitter {
     },
 }
 
+/// The per-task jitter generator: `seed` mixed with the task id through a
+/// splitmix64 finalizer. Each task draws its delays from its own stream, so
+/// the eager [`ArrivalPlan`] (task-major generation) and the lazy
+/// [`ArrivalStream`] (time-ordered generation) produce byte-identical delays
+/// without sharing generator state across tasks.
+fn task_jitter_rng(seed: u64, task: TaskId) -> XorShiftRng {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(task.0) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    XorShiftRng::new(z ^ (z >> 31))
+}
+
+/// The uniform delay drawn for one release. Inclusion of a job is decided on
+/// its *nominal* release (strictly before the horizon); the jittered release
+/// may land past the horizon — consumers stop pulling once their clock
+/// reaches it.
+fn draw_delay(rng: &mut XorShiftRng, max: SimDuration) -> SimDuration {
+    let delay_us = rng.uniform(0.0, max.as_micros_f64().max(1e-9));
+    SimDuration::from_micros_f64(delay_us)
+}
+
 /// A fully materialized, time-ordered job release plan for a task set.
 ///
 /// ```
@@ -44,14 +65,15 @@ pub struct ArrivalPlan {
 
 impl ArrivalPlan {
     /// Generates all job releases of `tasks` with nominal release strictly
-    /// before `horizon`, sorted by release time (ties broken by task id).
+    /// before `horizon`, sorted by release time (ties broken by task id,
+    /// then release index).
     pub fn generate(tasks: &TaskSet, horizon: SimTime, jitter: ReleaseJitter) -> Self {
-        let mut rng = match jitter {
-            ReleaseJitter::Uniform { seed, .. } => Some(XorShiftRng::new(seed)),
-            ReleaseJitter::None => None,
-        };
         let mut jobs = Vec::new();
         for task in tasks.tasks() {
+            let mut rng = match jitter {
+                ReleaseJitter::Uniform { seed, .. } => Some(task_jitter_rng(seed, task.id)),
+                ReleaseJitter::None => None,
+            };
             let mut index = 0u64;
             loop {
                 let mut job = task.job(index);
@@ -59,8 +81,7 @@ impl ArrivalPlan {
                     break;
                 }
                 if let (ReleaseJitter::Uniform { max, .. }, Some(rng)) = (jitter, rng.as_mut()) {
-                    let delay_us = rng.uniform(0.0, max.as_micros_f64().max(1e-9));
-                    job.release += SimDuration::from_micros_f64(delay_us);
+                    job.release += draw_delay(rng, max);
                 }
                 jobs.push(job);
                 index += 1;
@@ -104,43 +125,117 @@ impl ArrivalPlan {
     }
 }
 
-/// A **lazy** strictly-periodic arrival source: yields the same jobs, in the
-/// same order, as [`ArrivalPlan::generate`] with [`ReleaseJitter::None`], but
-/// holds only one heap entry per task instead of materializing the whole
-/// horizon up front (memory stays O(tasks) however long the run is).
+/// Per-task state of a jittered [`ArrivalStream`]: the task's delay
+/// generator plus a bounded lookahead of drawn-but-unemitted releases.
+///
+/// Jitter can reorder a task's releases (a job delayed past its successor's
+/// draw), so the stream draws ahead until the earliest buffered release is
+/// provably final: once `buffer.min <= next nominal release`, every undrawn
+/// job jitters to at least its nominal, hence at least `buffer.min`. The
+/// lookahead is bounded by `max / period + 1` entries per task.
+#[derive(Debug, Clone)]
+struct TaskJitterState {
+    rng: XorShiftRng,
+    max: SimDuration,
+    /// Next nominal release index not yet drawn.
+    next_index: u64,
+    /// Drawn releases not yet handed to the global heap: `(release, index)`.
+    buffer: BinaryHeap<Reverse<(SimTime, u64)>>,
+}
+
+/// A **lazy** arrival source: yields the same jobs, in the same order, as
+/// [`ArrivalPlan::generate`] with the same [`ReleaseJitter`], but holds only
+/// one global heap entry per task plus (for jittered streams) a bounded
+/// per-task lookahead, instead of materializing the whole horizon up front —
+/// memory stays O(tasks) however long the run is.
 ///
 /// ```
 /// use daris_workload::{ArrivalPlan, ArrivalStream, TaskSet, ReleaseJitter};
 /// use daris_models::DnnKind;
-/// use daris_gpu::SimTime;
+/// use daris_gpu::{SimDuration, SimTime};
 ///
 /// let ts = TaskSet::table2(DnnKind::UNet);
 /// let horizon = SimTime::from_millis(100);
 /// let eager: Vec<_> = ArrivalPlan::generate(&ts, horizon, ReleaseJitter::None).into_iter().collect();
 /// let lazy: Vec<_> = ArrivalStream::new(&ts, horizon).collect();
 /// assert_eq!(eager, lazy);
+///
+/// // The jittered stream replays the jittered plan exactly, too.
+/// let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(3), seed: 11 };
+/// let eager: Vec<_> = ArrivalPlan::generate(&ts, horizon, jitter).into_iter().collect();
+/// let lazy: Vec<_> = ArrivalStream::with_jitter(&ts, horizon, jitter).collect();
+/// assert_eq!(eager, lazy);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ArrivalStream<'a> {
     tasks: &'a TaskSet,
     horizon: SimTime,
-    /// Next release of each task, ordered by `(release, task, index)` — the
-    /// exact tie-break of the eager plan's stable sort.
+    /// Next emittable release of each task, ordered by `(release, task,
+    /// index)` — the exact tie-break of the eager plan's stable sort.
     heap: BinaryHeap<Reverse<(SimTime, TaskId, u64)>>,
+    /// Per-task jitter state, indexed by task; empty for jitter-free streams
+    /// (the common scheduler path keeps its one-entry-per-task fast path).
+    jitter: Vec<TaskJitterState>,
 }
 
 impl<'a> ArrivalStream<'a> {
-    /// Builds a lazy arrival stream over `tasks` with nominal releases
-    /// strictly before `horizon`.
+    /// Builds a lazy, strictly periodic arrival stream over `tasks` with
+    /// nominal releases strictly before `horizon`.
     pub fn new(tasks: &'a TaskSet, horizon: SimTime) -> Self {
+        Self::with_jitter(tasks, horizon, ReleaseJitter::None)
+    }
+
+    /// Builds a lazy arrival stream applying `jitter`, yielding byte-identical
+    /// jobs in byte-identical order to `ArrivalPlan::generate(tasks, horizon,
+    /// jitter)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a jitter configuration the stream cannot reproduce *lazily*:
+    /// a [`ReleaseJitter::Uniform`] whose `max` delay reaches the horizon, as
+    /// the in-order lookahead would then buffer the entire plan and the
+    /// stream would silently degenerate to the eager path (materialize an
+    /// [`ArrivalPlan`] instead).
+    pub fn with_jitter(tasks: &'a TaskSet, horizon: SimTime, jitter: ReleaseJitter) -> Self {
         let mut heap = BinaryHeap::with_capacity(tasks.len());
-        for task in tasks.tasks() {
-            let first = task.job(0).release;
-            if first < horizon {
-                heap.push(Reverse((first, task.id, 0)));
+        let jitter_states = match jitter {
+            ReleaseJitter::None => {
+                for task in tasks.tasks() {
+                    let first = task.job(0).release;
+                    if first < horizon {
+                        heap.push(Reverse((first, task.id, 0)));
+                    }
+                }
+                Vec::new()
             }
-        }
-        ArrivalStream { tasks, horizon, heap }
+            ReleaseJitter::Uniform { max, seed } => {
+                let span = horizon.duration_since(SimTime::ZERO);
+                assert!(
+                    span.is_zero() || max < span,
+                    "ArrivalStream cannot lazily reproduce ReleaseJitter::Uniform with a max \
+                     delay of {:.3} ms at a {:.3} ms horizon: the in-order lookahead would \
+                     buffer every release; materialize an ArrivalPlan instead",
+                    max.as_millis_f64(),
+                    span.as_millis_f64(),
+                );
+                let mut states = Vec::with_capacity(tasks.len());
+                for task in tasks.tasks() {
+                    let mut state = TaskJitterState {
+                        rng: task_jitter_rng(seed, task.id),
+                        max,
+                        next_index: 0,
+                        buffer: BinaryHeap::new(),
+                    };
+                    state.refill(tasks, task.id, horizon);
+                    if let Some(Reverse((release, index))) = state.buffer.pop() {
+                        heap.push(Reverse((release, task.id, index)));
+                    }
+                    states.push(state);
+                }
+                states
+            }
+        };
+        ArrivalStream { tasks, horizon, heap, jitter: jitter_states }
     }
 
     /// Release time of the next job, without consuming it.
@@ -149,16 +244,49 @@ impl<'a> ArrivalStream<'a> {
     }
 }
 
+impl TaskJitterState {
+    /// Draws releases until the earliest buffered one is provably the task's
+    /// next (or nominal generation passes the horizon): the task's undrawn
+    /// jobs all jitter to at least the next nominal release.
+    fn refill(&mut self, tasks: &TaskSet, task_id: TaskId, horizon: SimTime) {
+        let task = tasks.task(task_id).expect("stream tasks outlive the iterator");
+        loop {
+            let nominal = task.job(self.next_index).release;
+            if nominal >= horizon {
+                break;
+            }
+            if let Some(Reverse((buffered_min, _))) = self.buffer.peek() {
+                if *buffered_min <= nominal {
+                    break;
+                }
+            }
+            let release = nominal + draw_delay(&mut self.rng, self.max);
+            self.buffer.push(Reverse((release, self.next_index)));
+            self.next_index += 1;
+        }
+    }
+}
+
 impl Iterator for ArrivalStream<'_> {
     type Item = Job;
 
     fn next(&mut self) -> Option<Job> {
-        let Reverse((_, task_id, index)) = self.heap.pop()?;
+        let Reverse((release, task_id, index)) = self.heap.pop()?;
         let task = self.tasks.task(task_id).expect("stream tasks outlive the iterator");
-        let job = task.job(index);
-        let succ = task.job(index + 1);
-        if succ.release < self.horizon {
-            self.heap.push(Reverse((succ.release, task_id, index + 1)));
+        let mut job = task.job(index);
+        if self.jitter.is_empty() {
+            // Strictly periodic: the successor's release is its nominal.
+            let succ = task.job(index + 1);
+            if succ.release < self.horizon {
+                self.heap.push(Reverse((succ.release, task_id, index + 1)));
+            }
+        } else {
+            job.release = release;
+            let state = &mut self.jitter[task_id.index()];
+            state.refill(self.tasks, task_id, self.horizon);
+            if let Some(Reverse((next_release, next_index))) = state.buffer.pop() {
+                self.heap.push(Reverse((next_release, task_id, next_index)));
+            }
         }
         Some(job)
     }
@@ -239,6 +367,55 @@ mod tests {
     }
 
     #[test]
+    fn jittered_lazy_stream_matches_jittered_eager_plan_exactly() {
+        // Jitter wider than the period exercises within-task release
+        // reordering and therefore the lookahead buffer; sweep several seeds
+        // so ties and orderings vary.
+        let horizon = SimTime::from_millis(150);
+        for ts in [TaskSet::table2(DnnKind::UNet), TaskSet::mixed()] {
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                for max_ms in [1u64, 2, 60, 120] {
+                    let jitter =
+                        ReleaseJitter::Uniform { max: SimDuration::from_millis(max_ms), seed };
+                    let eager: Vec<Job> =
+                        ArrivalPlan::generate(&ts, horizon, jitter).into_iter().collect();
+                    let stream = ArrivalStream::with_jitter(&ts, horizon, jitter);
+                    assert_eq!(stream.next_release(), eager.first().map(|j| j.release));
+                    let lazy: Vec<Job> = stream.collect();
+                    assert_eq!(
+                        eager, lazy,
+                        "jittered lazy arrivals must replicate the eager plan \
+                         (seed {seed}, max {max_ms} ms)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_stream_peek_is_consistent_with_next() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(10), seed: 3 };
+        let mut stream = ArrivalStream::with_jitter(&ts, SimTime::from_millis(80), jitter);
+        let mut last = SimTime::ZERO;
+        while let Some(peeked) = stream.next_release() {
+            let job = stream.next().expect("peeked release implies a job");
+            assert_eq!(job.release, peeked);
+            assert!(job.release >= last, "stream must stay time-ordered");
+            last = job.release;
+        }
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lazily reproduce")]
+    fn jitter_wider_than_the_horizon_is_rejected_loudly() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(100), seed: 1 };
+        let _ = ArrivalStream::with_jitter(&ts, SimTime::from_millis(100), jitter);
+    }
+
+    #[test]
     fn lazy_stream_peek_is_consistent_with_next() {
         let ts = TaskSet::table2(DnnKind::UNet);
         let mut stream = ArrivalStream::new(&ts, SimTime::from_millis(50));
@@ -255,6 +432,9 @@ mod tests {
         let plan = ArrivalPlan::generate(&ts, SimTime::ZERO, ReleaseJitter::None);
         assert!(plan.is_empty());
         assert_eq!(plan.offered_jps(), 0.0);
+        // A zero-span jittered stream is empty rather than rejected.
+        let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(1), seed: 1 };
+        assert!(ArrivalStream::with_jitter(&ts, SimTime::ZERO, jitter).next().is_none());
     }
 
     #[test]

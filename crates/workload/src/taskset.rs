@@ -184,6 +184,21 @@ impl TaskSet {
             .build()
     }
 
+    /// Collects task specs into a set, reassigning ids to `0..n` but
+    /// **preserving each task's release phase**: the resulting set releases
+    /// its jobs at exactly the instants the originals would. This is the
+    /// constructor for sub-setting an existing (already staggered) set —
+    /// cluster placement relies on it so every device's local arrival
+    /// stream reproduces the global release times. `collect()` instead
+    /// re-staggers phases like [`TaskSetBuilder`].
+    pub fn preserving_phases(iter: impl IntoIterator<Item = TaskSpec>) -> TaskSet {
+        let mut builder = TaskSetBuilder::new().without_stagger();
+        for t in iter {
+            builder = builder.add_task(t);
+        }
+        builder.build()
+    }
+
     /// All tasks in id order.
     pub fn tasks(&self) -> &[TaskSpec] {
         &self.tasks
@@ -259,6 +274,10 @@ impl TaskSet {
 }
 
 impl FromIterator<TaskSpec> for TaskSet {
+    /// Collects task specs into a freshly staggered set (ids reassigned,
+    /// phases spread like [`TaskSetBuilder`]). To keep the originals'
+    /// release phases — e.g. when sub-setting an existing set — use
+    /// [`TaskSet::preserving_phases`] instead.
     fn from_iter<I: IntoIterator<Item = TaskSpec>>(iter: I) -> Self {
         let mut builder = TaskSetBuilder::new();
         for t in iter {
@@ -380,5 +399,23 @@ mod tests {
         for (i, t) in subset.tasks().iter().enumerate() {
             assert_eq!(t.id.index(), i);
         }
+    }
+
+    #[test]
+    fn preserving_phases_keeps_release_instants_while_collect_restaggers() {
+        let base = TaskSet::table2(DnnKind::UNet);
+        let picked: Vec<TaskSpec> = base.tasks().iter().skip(5).take(4).cloned().collect();
+        let preserved = TaskSet::preserving_phases(picked.iter().cloned());
+        for (position, (original, local)) in picked.iter().zip(preserved.tasks()).enumerate() {
+            assert_eq!(local.id.index(), position, "ids are still reassigned to 0..n");
+            assert_eq!(local.phase, original.phase, "phases must survive sub-setting");
+            assert_eq!(local.job(3).release, original.job(3).release);
+        }
+        // The trait impl builds a *fresh* set: phases re-staggered locally.
+        let collected: TaskSet = picked.iter().cloned().collect();
+        assert_ne!(
+            collected.tasks().iter().map(|t| t.phase).collect::<Vec<_>>(),
+            picked.iter().map(|t| t.phase).collect::<Vec<_>>(),
+        );
     }
 }
