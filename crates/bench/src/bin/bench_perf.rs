@@ -57,23 +57,31 @@ fn main() -> ExitCode {
     }
     eprintln!("  peak RSS: {:.1} MiB", run.peak_rss_bytes as f64 / (1024.0 * 1024.0));
 
-    // Cross-check the parallel twins against their serial sections: the
-    // deterministic join means identical simulated events and completions.
+    // Cross-check the parallel twins against their serial sections, and the
+    // trace-replay twins against their live-generator sections: the
+    // deterministic join and the record→replay round trip both mean
+    // identical simulated events and completions.
     let mut determinism_broken = false;
-    for par in run.sections.iter().filter(|s| s.name.ends_with("_par")) {
-        let serial_name = par.name.trim_end_matches("_par");
-        if let Some(serial) = run.sections.iter().find(|s| s.name == serial_name) {
-            eprintln!(
-                "  {serial_name}: parallel speedup {:.2}x over serial",
-                par.events_per_sec / serial.events_per_sec.max(1e-9)
-            );
-            if (par.events, par.completed_jobs) != (serial.events, serial.completed_jobs) {
+    for (suffix, what) in [("_par", "parallel"), ("_replay", "trace replay")] {
+        for twin in run.sections.iter().filter(|s| s.name.ends_with(suffix)) {
+            let base_name = twin.name.trim_end_matches(suffix);
+            if let Some(base) = run.sections.iter().find(|s| s.name == base_name) {
                 eprintln!(
-                    "bench_perf: DETERMINISM VIOLATION in {}: serial {} events / {} jobs, \
-                     parallel {} events / {} jobs",
-                    par.name, serial.events, serial.completed_jobs, par.events, par.completed_jobs
+                    "  {base_name}: {what} at {:.2}x the base section's events/sec",
+                    twin.events_per_sec / base.events_per_sec.max(1e-9)
                 );
-                determinism_broken = true;
+                if (twin.events, twin.completed_jobs) != (base.events, base.completed_jobs) {
+                    eprintln!(
+                        "bench_perf: DETERMINISM VIOLATION in {}: base {} events / {} jobs, \
+                         {what} {} events / {} jobs",
+                        twin.name,
+                        base.events,
+                        base.completed_jobs,
+                        twin.events,
+                        twin.completed_jobs
+                    );
+                    determinism_broken = true;
+                }
             }
         }
     }

@@ -23,7 +23,7 @@ use daris_cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStra
 use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
 use daris_gpu::{GpuSpec, SimTime};
 use daris_models::DnnKind;
-use daris_workload::TaskSet;
+use daris_workload::{BurstyConfig, GenSpec, TaskSet};
 
 use crate::{cluster_taskset, cluster_taskset_scaled};
 
@@ -40,6 +40,10 @@ pub struct SectionResult {
     pub events_per_sec: f64,
     /// Jobs completed across the section, a sanity anchor for the numbers.
     pub completed_jobs: u64,
+    /// High-priority deadline-miss rate of the section's run, so the
+    /// trajectory records overload/DMR behaviour (bursty vs periodic)
+    /// alongside raw simulator speed.
+    pub hp_dmr: f64,
 }
 
 /// One full harness run: every section at a common horizon.
@@ -58,9 +62,9 @@ pub struct PerfRun {
     pub sections: Vec<SectionResult>,
 }
 
-fn time_section(name: &str, f: impl FnOnce() -> (u64, u64)) -> SectionResult {
+fn time_section(name: &str, f: impl FnOnce() -> (u64, u64, f64)) -> SectionResult {
     let start = Instant::now();
-    let (events, completed_jobs) = f();
+    let (events, completed_jobs, hp_dmr) = f();
     let wall = start.elapsed();
     let wall_ms = wall.as_secs_f64() * 1e3;
     SectionResult {
@@ -69,6 +73,7 @@ fn time_section(name: &str, f: impl FnOnce() -> (u64, u64)) -> SectionResult {
         events,
         events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
         completed_jobs,
+        hp_dmr,
     }
 }
 
@@ -79,7 +84,11 @@ fn single_device_section(name: &str, taskset: &TaskSet, horizon: SimTime) -> Sec
             DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)))
                 .expect("valid perf section configuration");
         let outcome = scheduler.run_until(horizon);
-        (scheduler.events_processed(), outcome.summary.total.completed as u64)
+        (
+            scheduler.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
     })
 }
 
@@ -110,7 +119,76 @@ fn run_cluster_section(
         let mut dispatcher = ClusterDispatcher::new(taskset, fleet, config)
             .expect("valid perf cluster configuration");
         let outcome = dispatcher.run_until(horizon);
-        (dispatcher.events_processed(), outcome.summary.total.completed as u64)
+        (
+            dispatcher.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
+    })
+}
+
+/// The trace-driven workload sections: the 8-device heterogeneous fleet
+/// under the bursty generator, run live and again as a recorded-trace
+/// replay, plus a single-device bursty run. The live and `_replay` twins
+/// must report identical event/job counts (the record→replay round-trip
+/// guarantee — `bench_perf` fails the run otherwise), and their `hp_dmr`
+/// lands the bursty-vs-periodic overload story in the trajectory next to
+/// the periodic `cluster_scaling_8dev` section.
+fn trace_sections(horizon: SimTime, sections: &mut Vec<SectionResult>) {
+    let spec = GenSpec::Bursty(BurstyConfig::default());
+    sections.push(single_bursty_section(
+        "single_resnet18_bursty",
+        &TaskSet::table2(DnnKind::ResNet18),
+        &spec,
+        horizon,
+    ));
+    let taskset = cluster_taskset_scaled(8);
+    let fleet = || ClusterSpec::heterogeneous_mix(8);
+    let cluster_config =
+        || ClusterConfig { strategy: PlacementStrategy::GreedyBalance, ..Default::default() };
+    sections.push(time_section("cluster_hetero_8dev_bursty", || {
+        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet(), cluster_config())
+            .expect("valid perf cluster configuration");
+        let outcome = dispatcher.run_generated(&spec, horizon);
+        (
+            dispatcher.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
+    }));
+    // Trace generation is untimed: the section measures the replay path.
+    let trace = spec.generate(&taskset, horizon);
+    sections.push(time_section("cluster_hetero_8dev_bursty_replay", || {
+        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet(), cluster_config())
+            .expect("valid perf cluster configuration");
+        let outcome = dispatcher.run_replay(&trace).expect("recorded trace replays");
+        (
+            dispatcher.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
+    }));
+}
+
+fn single_bursty_section(
+    name: &str,
+    taskset: &TaskSet,
+    spec: &GenSpec,
+    horizon: SimTime,
+) -> SectionResult {
+    let taskset = taskset.clone();
+    let spec = *spec;
+    time_section(name, move || {
+        let mut scheduler =
+            DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 6.0)))
+                .expect("valid perf section configuration");
+        let mut stream = spec.stream(&taskset, horizon);
+        let outcome = scheduler.run_with_source(&mut stream, horizon);
+        (
+            scheduler.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
     })
 }
 
@@ -177,6 +255,7 @@ pub fn run_perf(label: &str, horizon: SimTime, threads: usize) -> PerfRun {
         cluster_section("cluster_scaling_8dev", 8, horizon),
     ];
     wide_sections(threads, horizon, &mut sections);
+    trace_sections(horizon, &mut sections);
     PerfRun {
         label: label.to_owned(),
         horizon_ms: (horizon.as_millis_f64()) as u64,
@@ -221,7 +300,8 @@ pub fn run_to_json(run: &PerfRun, indent: usize) -> String {
         out.push_str(&format!("{pad}      \"wall_ms\": {:.3},\n", s.wall_ms));
         out.push_str(&format!("{pad}      \"events\": {},\n", s.events));
         out.push_str(&format!("{pad}      \"events_per_sec\": {:.1},\n", s.events_per_sec));
-        out.push_str(&format!("{pad}      \"completed_jobs\": {}\n", s.completed_jobs));
+        out.push_str(&format!("{pad}      \"completed_jobs\": {},\n", s.completed_jobs));
+        out.push_str(&format!("{pad}      \"hp_dmr\": {:.6}\n", s.hp_dmr));
         out.push_str(&format!("{pad}    }}{comma}\n"));
     }
     out.push_str(&format!("{pad}  ]\n"));
@@ -304,6 +384,7 @@ mod tests {
                     events: 1000,
                     events_per_sec: 100_000.0,
                     completed_jobs: 5,
+                    hp_dmr: 0.0,
                 },
                 SectionResult {
                     name: "b".into(),
@@ -311,6 +392,7 @@ mod tests {
                     events: 100,
                     events_per_sec: 20_000.0,
                     completed_jobs: 2,
+                    hp_dmr: 0.015,
                 },
             ],
         }

@@ -2,6 +2,16 @@
 //! through fixed-length **synchronization rounds** with the per-device
 //! simulation fanned out to a worker pool in between.
 //!
+//! Three workload shapes share the same round loop, each a different
+//! [`ArrivalSource`] per device: strictly periodic task sets
+//! ([`run_until`](ClusterDispatcher::run_until)), seeded bursty / diurnal /
+//! correlated generators ([`run_generated`](ClusterDispatcher::run_generated),
+//! keyed by global task index so local streams preserve the global trace
+//! phases), and recorded trace replays
+//! ([`run_replay`](ClusterDispatcher::run_replay), the global trace split
+//! along the placement). A live generated run and the replay of its recorded
+//! trace are byte-identical at any thread count.
+//!
 //! # Round protocol
 //!
 //! Simulated time is cut into rounds of [`ClusterConfig::sync_quantum`].
@@ -46,7 +56,10 @@ use std::collections::HashMap;
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
 use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_metrics::MetricsCollector;
-use daris_workload::{ArrivalStream, Job, TaskId, TaskSet};
+use daris_workload::{
+    ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, TaskId, TaskSet, Trace,
+    TraceError, TraceEvent, TracePlayer,
+};
 
 use crate::{
     place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
@@ -128,6 +141,22 @@ pub struct ClusterOutcome {
     pub summary: ClusterSummary,
     /// Per-device outcomes, in fleet order.
     pub devices: Vec<DeviceOutcome>,
+}
+
+impl ClusterOutcome {
+    /// One hash over the aggregate and every per-device summary: any drift
+    /// in counts, rates or float accumulation order changes it. This is the
+    /// byte-identity check the determinism suites and the `trace_replay`
+    /// runner share — widen it here and every check widens with it.
+    pub fn summary_hash(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        format!("{:?}", self.summary).hash(&mut hasher);
+        for device in &self.devices {
+            format!("{:?}", device.outcome.summary).hash(&mut hasher);
+        }
+        hasher.finish()
+    }
 }
 
 #[derive(Debug)]
@@ -268,14 +297,12 @@ impl ClusterDispatcher {
             .sum()
     }
 
-    /// Runs the fleet until `horizon` and returns per-device and aggregate
-    /// outcomes. Call once per dispatcher.
+    /// Runs a periodic [`TaskSet`] workload on the fleet until `horizon` and
+    /// returns per-device and aggregate outcomes. Call once per dispatcher.
     pub fn run_until(&mut self, horizon: SimTime) -> ClusterOutcome {
         // Releases of tasks no device could take are known a priori (arrivals
         // do not depend on simulation state); account them up front.
-        let unplaced_tasks = TaskSet::preserving_phases(
-            self.placement.rejected.iter().map(|id| self.taskset.tasks()[id.index()].clone()),
-        );
+        let unplaced_tasks = self.unplaced_taskset();
         for job in ArrivalStream::new(&unplaced_tasks, horizon) {
             self.unplaced.record_rejection(&job);
         }
@@ -288,7 +315,121 @@ impl ClusterDispatcher {
             self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
         let mut streams: Vec<ArrivalStream<'_>> =
             device_tasksets.iter().map(|ts| ArrivalStream::new(ts, horizon)).collect();
+        self.drive(&mut streams, horizon)
+    }
 
+    /// Runs a seeded [`GenSpec`] workload (bursty, diurnal, correlated) on
+    /// the fleet until `horizon`. Each device generates its placed tasks'
+    /// releases locally, keyed by the tasks' **global** indices, so the
+    /// per-device streams together reproduce the global generator trace
+    /// exactly — the generator analogue of `TaskSet::preserving_phases`
+    /// preserving release phases. A live generated run is therefore
+    /// byte-identical to replaying [`GenSpec::generate`]'s trace of the same
+    /// spec via [`run_replay`](Self::run_replay). Call once per dispatcher.
+    pub fn run_generated(&mut self, spec: &GenSpec, horizon: SimTime) -> ClusterOutcome {
+        let rejected_keys: Vec<u64> =
+            self.placement.rejected.iter().map(|id| id.index() as u64).collect();
+        let unplaced_tasks = self.unplaced_taskset();
+        for job in spec.stream_keyed(&unplaced_tasks, horizon, &rejected_keys) {
+            self.unplaced.record_rejection(&job);
+        }
+
+        let device_tasksets: Vec<TaskSet> =
+            self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
+        let device_keys: Vec<Vec<u64>> = self
+            .placement
+            .plans
+            .iter()
+            .map(|p| p.task_indices.iter().map(|&g| g as u64).collect())
+            .collect();
+        let mut streams: Vec<GeneratedStream<'_>> = device_tasksets
+            .iter()
+            .zip(&device_keys)
+            .map(|(ts, keys)| spec.stream_keyed(ts, horizon, keys))
+            .collect();
+        self.drive(&mut streams, horizon)
+    }
+
+    /// Replays a recorded [`Trace`] (over the dispatcher's *global* task
+    /// set) on the fleet, to exactly the trace's horizon: the global trace
+    /// is split per device along the placement, task ids remapped to each
+    /// device's local space — legal because placement preserves the global
+    /// relative task order, so the per-device event sequences keep the trace
+    /// sort order. Events of tasks the placement rejected are charged as
+    /// rejections up front, exactly like the periodic path. Call once per
+    /// dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Trace`] when the trace refers to tasks the
+    /// global set does not contain, or a per-device slice violates the trace
+    /// contract.
+    pub fn run_replay(&mut self, trace: &Trace) -> Result<ClusterOutcome> {
+        let horizon = trace.horizon();
+        let n_tasks = self.taskset.len();
+        let unplaced_of: HashMap<usize, TaskId> = self
+            .placement
+            .rejected
+            .iter()
+            .enumerate()
+            .map(|(position, id)| (id.index(), TaskId(position as u32)))
+            .collect();
+        let unplaced_tasks = self.unplaced_taskset();
+        let mut per_device: Vec<Vec<TraceEvent>> = vec![Vec::new(); self.devices.len()];
+        for ev in trace.events() {
+            let global = ev.task.index();
+            if global >= n_tasks {
+                return Err(ClusterError::Trace(TraceError::UnknownTask {
+                    task: ev.task,
+                    tasks: n_tasks,
+                }));
+            }
+            match self.placement.device_of[global] {
+                Some(device) => {
+                    let local = self.devices[device].local_of_global[&global];
+                    per_device[device].push(TraceEvent { task: local, ..*ev });
+                }
+                None => {
+                    let local = unplaced_of[&global];
+                    let spec = unplaced_tasks.task(local).expect("compacted unplaced set");
+                    self.unplaced.record_rejection(&ev.job_for(spec));
+                }
+            }
+        }
+
+        let device_tasksets: Vec<TaskSet> =
+            self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
+        let device_traces: Vec<Trace> = per_device
+            .into_iter()
+            .map(|events| Trace::new(horizon, trace.lookahead(), events))
+            .collect::<std::result::Result<_, _>>()
+            .map_err(ClusterError::Trace)?;
+        let mut players: Vec<TracePlayer<'_>> = device_tasksets
+            .iter()
+            .zip(&device_traces)
+            .map(|(ts, tr)| TracePlayer::new(ts, tr))
+            .collect::<std::result::Result<_, _>>()
+            .map_err(ClusterError::Trace)?;
+        Ok(self.drive(&mut players, horizon))
+    }
+
+    /// The compacted set of tasks the placement rejected, phases preserved —
+    /// the id space `self.unplaced` accounts their releases under.
+    fn unplaced_taskset(&self) -> TaskSet {
+        TaskSet::preserving_phases(
+            self.placement.rejected.iter().map(|id| self.taskset.tasks()[id.index()].clone()),
+        )
+    }
+
+    /// The synchronization-round loop shared by every workload shape: rounds
+    /// of independent per-device spans over `streams` (one source per
+    /// device, device-local task ids), boundary-only cross-device work, then
+    /// final accounting.
+    fn drive<S: ArrivalSource + Send>(
+        &mut self,
+        streams: &mut [S],
+        horizon: SimTime,
+    ) -> ClusterOutcome {
         let quantum = self.config.sync_quantum.max(SimDuration::from_nanos(1));
         let mut t0 = SimTime::ZERO;
         while t0 < horizon {
@@ -304,7 +445,7 @@ impl ClusterDispatcher {
                 break;
             }
             let t1 = t0.saturating_add(quantum).min(horizon);
-            let rejected = self.span_fleet(&mut streams, t1);
+            let rejected = self.span_fleet(&mut *streams, t1);
             self.retry_rejections(rejected, t1);
             if self.config.migration {
                 self.rebalance(t1);
@@ -345,13 +486,13 @@ impl ClusterDispatcher {
     /// scoped worker threads when configured. Returns the releases each
     /// home device rejected, merged in ascending device order (the
     /// deterministic join — worker timing cannot reorder it).
-    fn span_fleet(
+    fn span_fleet<S: ArrivalSource + Send>(
         &mut self,
-        streams: &mut [ArrivalStream<'_>],
+        streams: &mut [S],
         until: SimTime,
     ) -> Vec<(usize, Vec<Job>)> {
         let threads = self.config.threads.max(1);
-        let mut due: Vec<(usize, &mut DarisScheduler, &mut ArrivalStream<'_>)> = Vec::new();
+        let mut due: Vec<(usize, &mut DarisScheduler, &mut S)> = Vec::new();
         for ((d, device), stream) in self.devices.iter_mut().enumerate().zip(streams.iter_mut()) {
             let Some(scheduler) = device.scheduler.as_mut() else { continue };
             let event_due = scheduler.next_event_time().is_some_and(|t| t < until);
@@ -361,7 +502,7 @@ impl ClusterDispatcher {
             }
         }
 
-        let span = |d: usize, scheduler: &mut DarisScheduler, stream: &mut ArrivalStream<'_>| {
+        let span = |d: usize, scheduler: &mut DarisScheduler, stream: &mut S| {
             let mut rejected = Vec::new();
             scheduler.run_span(stream, until, &mut rejected);
             (d, rejected)
@@ -373,7 +514,7 @@ impl ClusterDispatcher {
             // Deal devices round-robin to one bucket per worker; each worker
             // only touches its own devices' state.
             let workers = threads.min(due.len());
-            let mut buckets: Vec<Vec<(usize, &mut DarisScheduler, &mut ArrivalStream<'_>)>> =
+            let mut buckets: Vec<Vec<(usize, &mut DarisScheduler, &mut S)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             for (k, item) in due.into_iter().enumerate() {
                 buckets[k % workers].push(item);

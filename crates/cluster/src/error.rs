@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use daris_core::CoreError;
+use daris_workload::TraceError;
 
 /// Errors returned by the cluster layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,8 @@ pub enum ClusterError {
         /// The underlying scheduler error.
         source: CoreError,
     },
+    /// A workload trace could not be replayed on this cluster.
+    Trace(TraceError),
 }
 
 impl fmt::Display for ClusterError {
@@ -40,6 +43,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Scheduler { device, source } => {
                 write!(f, "scheduler for device '{device}' failed: {source}")
             }
+            ClusterError::Trace(source) => write!(f, "workload trace error: {source}"),
         }
     }
 }
@@ -50,6 +54,7 @@ impl Error for ClusterError {
             ClusterError::InvalidDevice { source, .. } | ClusterError::Scheduler { source, .. } => {
                 Some(source)
             }
+            ClusterError::Trace(source) => Some(source),
             _ => None,
         }
     }
@@ -68,5 +73,8 @@ mod tests {
         assert!(e.to_string().contains("gpu3"));
         assert!(e.source().is_some());
         assert!(ClusterError::EmptyCluster.source().is_none());
+        let t = ClusterError::Trace(TraceError::Parse { line: 1, reason: "bad".into() });
+        assert!(t.to_string().contains("trace"));
+        assert!(t.source().is_some());
     }
 }

@@ -28,6 +28,13 @@
 //!   [`ExperimentSummary`](daris_metrics::ExperimentSummary)s aggregated
 //!   into fleet-level throughput, deadline-miss and response metrics.
 //!
+//! Beyond periodic task sets, the dispatcher drives any workload shape:
+//! seeded bursty/diurnal/correlated generators
+//! ([`ClusterDispatcher::run_generated`]) and recorded trace replays
+//! ([`ClusterDispatcher::run_replay`]) share the synchronization-round loop
+//! through the [`ArrivalSource`](daris_workload::ArrivalSource) trait, and a
+//! live generated run is byte-identical to replaying its recorded trace.
+//!
 //! Model profiles are calibrated once against the paper's measurement device
 //! (the RTX 2080 Ti) and *run* on each member device, so heterogeneous speed
 //! differences emerge from the simulation (SM counts, copy engines,

@@ -16,7 +16,6 @@
 //!   hash check on an 8-device heterogeneous scenario).
 
 use std::collections::HashSet;
-use std::hash::{DefaultHasher, Hash, Hasher};
 
 use daris_cluster::{
     place, utilization_estimates, ClusterConfig, ClusterDispatcher, ClusterSpec, DeviceSpec,
@@ -27,6 +26,9 @@ use daris_gpu::{GpuSpec, SimTime, XorShiftRng};
 use daris_models::DnnKind;
 use daris_workload::{ArrivalPlan, Priority, ReleaseJitter, TaskSet, TaskSetBuilder};
 use proptest::prelude::*;
+
+mod common;
+use common::{horizon_capped_ms, outcome_hash};
 
 fn reference() -> GpuSpec {
     GpuSpec::rtx_2080_ti()
@@ -61,21 +63,6 @@ fn random_fleet(seed: u64, n_devices: usize) -> ClusterSpec {
         fleet = fleet.with_device(DeviceSpec::new(format!("d{i}"), gpu, partition));
     }
     fleet
-}
-
-/// Test horizon in milliseconds: `default_ms` capped by `DARIS_HORIZON_MS`
-/// (the same semantics as `daris_bench::horizon_capped_ms`, replicated here
-/// because `daris-cluster` sits below the bench crate).
-fn horizon_capped_ms(default_ms: u64) -> u64 {
-    match std::env::var("DARIS_HORIZON_MS") {
-        Ok(value) => {
-            let cap: u64 = value.trim().parse().unwrap_or_else(|_| {
-                panic!("DARIS_HORIZON_MS must be a whole number, got {value:?}")
-            });
-            default_ms.min(cap.max(50))
-        }
-        Err(_) => default_ms,
-    }
 }
 
 proptest! {
@@ -180,12 +167,7 @@ fn repeated_hetero_runs_hash_identically_across_thread_counts() {
             ClusterDispatcher::new(&taskset, fleet.clone(), config).expect("dispatcher builds");
         let outcome = dispatcher.run_until(horizon);
         assert!(outcome.summary.total.completed > 0, "scenario must do real work");
-        let mut hasher = DefaultHasher::new();
-        format!("{:?}", outcome.summary).hash(&mut hasher);
-        for device in &outcome.devices {
-            format!("{:?}", device.outcome.summary).hash(&mut hasher);
-        }
-        hasher.finish()
+        outcome_hash(&outcome)
     };
     let reference = hash_of(1);
     for threads in [1usize, 2, 8] {

@@ -1,0 +1,23 @@
+//! Helpers shared by the cluster integration-test binaries.
+
+use daris_cluster::ClusterOutcome;
+
+/// Test horizon in milliseconds: `default_ms` capped by `DARIS_HORIZON_MS`
+/// (the same semantics as `daris_bench::horizon_capped_ms`, replicated here
+/// because `daris-cluster` sits below the bench crate).
+pub fn horizon_capped_ms(default_ms: u64) -> u64 {
+    match std::env::var("DARIS_HORIZON_MS") {
+        Ok(value) => {
+            let cap: u64 = value.trim().parse().unwrap_or_else(|_| {
+                panic!("DARIS_HORIZON_MS must be a whole number, got {value:?}")
+            });
+            default_ms.min(cap.max(50))
+        }
+        Err(_) => default_ms,
+    }
+}
+
+/// The shared byte-identity check: see [`ClusterOutcome::summary_hash`].
+pub fn outcome_hash(outcome: &ClusterOutcome) -> u64 {
+    outcome.summary_hash()
+}

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use daris_gpu::GpuError;
+use daris_workload::TraceError;
 
 /// Errors returned by the DARIS scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +16,8 @@ pub enum CoreError {
     EmptyTaskSet,
     /// An error bubbled up from the GPU simulator.
     Gpu(GpuError),
+    /// A workload trace could not be replayed against the scheduler's tasks.
+    Trace(TraceError),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +28,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::EmptyTaskSet => write!(f, "task set contains no tasks"),
             CoreError::Gpu(e) => write!(f, "gpu simulator error: {e}"),
+            CoreError::Trace(e) => write!(f, "workload trace error: {e}"),
         }
     }
 }
@@ -33,6 +37,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Gpu(e) => Some(e),
+            CoreError::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -57,5 +62,8 @@ mod tests {
         assert!(g.to_string().contains("gpu"));
         assert!(g.source().is_some());
         assert!(CoreError::EmptyTaskSet.to_string().contains("no tasks"));
+        let t = CoreError::Trace(TraceError::Parse { line: 3, reason: "bad".into() });
+        assert!(t.to_string().contains("trace"));
+        assert!(t.source().is_some());
     }
 }

@@ -12,7 +12,10 @@ use std::collections::{BTreeSet, HashMap};
 use daris_gpu::{Gpu, SimDuration, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
 use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalStream, Job, JobId, Priority, TaskId, TaskSet, TaskSpec};
+use daris_workload::{
+    ArrivalSource, ArrivalStream, Job, JobId, Priority, TaskId, TaskSet, TaskSpec, Trace,
+    TracePlayer,
+};
 
 use crate::{
     populate_contexts, virtual_deadlines, AfetProfiler, ContextLoad, CoreError, DarisConfig,
@@ -211,16 +214,50 @@ impl DarisScheduler {
         // horizon instead of materializing every release up front.
         let taskset = self.taskset.clone();
         let mut arrivals = ArrivalStream::new(&taskset, horizon);
+        self.run_with_source(&mut arrivals, horizon)
+    }
+
+    /// Runs the online phase until `horizon` pulling releases from an
+    /// arbitrary [`ArrivalSource`] — a jittered stream, a seeded generator,
+    /// a replayed trace recording. Rejected releases are charged here (the
+    /// standalone single-device accounting); a cluster dispatcher drives
+    /// [`run_span`](Self::run_span) directly instead so it can retry them on
+    /// other devices.
+    ///
+    /// The source's jobs must belong to this scheduler's task set (same task
+    /// ids); the convenient way to guarantee that is to build the source
+    /// over the same [`TaskSet`] the scheduler was constructed with.
+    pub fn run_with_source(
+        &mut self,
+        arrivals: &mut impl ArrivalSource,
+        horizon: SimTime,
+    ) -> ExperimentOutcome {
         let mut rejected = Vec::new();
-        self.run_span(&mut arrivals, horizon, &mut rejected);
+        self.run_span(arrivals, horizon, &mut rejected);
         for job in &rejected {
             self.reject_job(job);
         }
         self.finish(horizon)
     }
 
+    /// Replays a recorded [`Trace`] against this scheduler's task set, to
+    /// exactly the trace's horizon. Replaying a trace recorded from a live
+    /// run reproduces that run byte for byte (same completions, same
+    /// metrics) — the round-trip guarantee the differential test suite pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Trace`] when the trace refers to tasks this
+    /// scheduler's set does not contain.
+    pub fn run_trace(&mut self, trace: &Trace) -> Result<ExperimentOutcome> {
+        let taskset = self.taskset.clone();
+        let mut player = TracePlayer::new(&taskset, trace).map_err(CoreError::Trace)?;
+        Ok(self.run_with_source(&mut player, trace.horizon()))
+    }
+
     /// Runs the device-local event loop — stage completions, releases from
-    /// `arrivals`, and stage dispatch, in exact time order — up to (but not
+    /// `arrivals` (any [`ArrivalSource`]: periodic stream, generator, trace
+    /// replay), and stage dispatch, in exact time order — up to (but not
     /// including) `until`. Releases the admission test rejects are pushed to
     /// `rejected` instead of being recorded, so an external driver (the
     /// cluster dispatcher) can retry them on other devices at the next
@@ -236,7 +273,7 @@ impl DarisScheduler {
     /// nothing but this scheduler's own state.
     pub fn run_span(
         &mut self,
-        arrivals: &mut ArrivalStream<'_>,
+        arrivals: &mut impl ArrivalSource,
         until: SimTime,
         rejected: &mut Vec<Job>,
     ) {
@@ -251,7 +288,7 @@ impl DarisScheduler {
             };
             self.advance_to(step_to);
             while arrivals.next_release().map(|r| r <= self.now).unwrap_or(false) {
-                let job = arrivals.next().expect("a pending release was peeked");
+                let job = arrivals.next_job().expect("a pending release was peeked");
                 if !self.try_release_job(job) {
                     rejected.push(job);
                 }
@@ -800,6 +837,69 @@ mod tests {
         }
         let actual = driven.finish(horizon);
         assert_eq!(actual.summary, expected.summary);
+    }
+
+    #[test]
+    fn recorded_live_run_replays_byte_identically() {
+        // The recorder round trip: wrap the live run's arrival stream, then
+        // replay the captured trace on a fresh scheduler — completions and
+        // metrics must match byte for byte. This is the single-device anchor
+        // of the differential suite.
+        use daris_workload::{Trace, TraceRecorder};
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0));
+        let horizon = SimTime::from_millis(200);
+
+        let mut live = DarisScheduler::new(&taskset, config.clone()).unwrap();
+        let mut recorder = TraceRecorder::new(ArrivalStream::new(&taskset, horizon));
+        let expected = live.run_with_source(&mut recorder, horizon);
+        let trace = recorder.into_trace(horizon).expect("periodic recordings are valid");
+        assert!(!trace.is_empty());
+
+        let mut replay = DarisScheduler::new(&taskset, config.clone()).unwrap();
+        let actual = replay.run_trace(&trace).expect("trace binds to its own task set");
+        assert_eq!(actual.summary, expected.summary);
+        assert_eq!(replay.events_processed(), live.events_processed());
+
+        // The codec keeps the guarantee: decode(encode(trace)) replays the
+        // same run.
+        let decoded = Trace::decode(&trace.encode()).unwrap();
+        let mut replay2 = DarisScheduler::new(&taskset, config).unwrap();
+        assert_eq!(replay2.run_trace(&decoded).unwrap().summary, expected.summary);
+    }
+
+    #[test]
+    fn generated_source_matches_its_recorded_trace_exactly() {
+        use daris_workload::{BurstyConfig, GenSpec};
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let config = DarisConfig::new(GpuPartition::mps(4, 4.0));
+        let horizon = SimTime::from_millis(200);
+        let spec = GenSpec::Bursty(BurstyConfig::default());
+
+        let mut live = DarisScheduler::new(&taskset, config.clone()).unwrap();
+        let mut stream = spec.stream(&taskset, horizon);
+        let expected = live.run_with_source(&mut stream, horizon);
+        assert!(expected.summary.total.completed > 0, "bursty load must do real work");
+
+        let trace = spec.generate(&taskset, horizon);
+        let mut replay = DarisScheduler::new(&taskset, config).unwrap();
+        let actual = replay.run_trace(&trace).unwrap();
+        assert_eq!(actual.summary, expected.summary);
+    }
+
+    #[test]
+    fn run_trace_rejects_traces_for_foreign_tasks() {
+        use daris_workload::GenSpec;
+        // A trace over the 51-task ResNet18 set cannot replay on the 15-task
+        // UNet scheduler.
+        let foreign = TaskSet::table2(DnnKind::ResNet18);
+        let trace =
+            GenSpec::Correlated(Default::default()).generate(&foreign, SimTime::from_millis(50));
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let mut scheduler =
+            DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(4, 4.0))).unwrap();
+        let err = scheduler.run_trace(&trace);
+        assert!(matches!(err, Err(CoreError::Trace(_))), "{err:?}");
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! schedules are generated deterministically (with optional seeded jitter) so
 //! experiments are reproducible.
 //!
+//! Beyond strictly periodic plans, the [`trace`-driven path](ArrivalSource)
+//! opens arbitrary arrival shapes: seeded [`GenSpec`] generators (bursty,
+//! diurnal, correlated co-releases), a serializable [`Trace`] format with a
+//! versioned plain-text codec, and a [`TraceRecorder`] that captures the
+//! release sequence of any live run for exact round-trip replay via
+//! [`TracePlayer`].
+//!
 //! # Example
 //!
 //! ```
@@ -28,12 +35,16 @@
 #![warn(missing_debug_implementations)]
 
 mod arrivals;
+mod generators;
 mod task;
 mod taskset;
+mod trace;
 
 pub use arrivals::{ArrivalPlan, ArrivalStream, ReleaseJitter};
+pub use generators::{BurstyConfig, CorrelatedConfig, DiurnalConfig, GenSpec, GeneratedStream};
 pub use task::{Job, JobId, Priority, TaskId, TaskSpec};
 pub use taskset::{RatioScenario, TaskSet, TaskSetBuilder};
+pub use trace::{ArrivalSource, Trace, TraceError, TraceEvent, TracePlayer, TraceRecorder};
 
 #[cfg(test)]
 mod tests {
