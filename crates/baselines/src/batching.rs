@@ -1,6 +1,6 @@
 //! The pure-batching upper baseline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -23,7 +23,7 @@ const BATCH_TIMEOUT_PERIODS: f64 = 0.5;
 #[derive(Debug, Clone)]
 pub struct BatchingServer {
     spec: GpuSpec,
-    batch_size: HashMap<DnnKind, u32>,
+    batch_size: BTreeMap<DnnKind, u32>,
 }
 
 impl BatchingServer {
@@ -58,7 +58,7 @@ impl BatchingServer {
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
@@ -70,12 +70,12 @@ impl BatchingServer {
         let arrivals: Vec<Job> =
             ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
 
-        let mut pending: HashMap<DnnKind, VecDeque<Job>> = HashMap::new();
-        let mut in_flight: HashMap<u64, Vec<Job>> = HashMap::new();
+        let mut pending: BTreeMap<DnnKind, VecDeque<Job>> = BTreeMap::new();
+        let mut in_flight: BTreeMap<u64, Vec<Job>> = BTreeMap::new();
         let mut next_tag = 0u64;
         let mut busy = false;
         let batch_sizes = self.batch_size.clone();
-        let min_period_us: HashMap<DnnKind, f64> = taskset
+        let min_period_us: BTreeMap<DnnKind, f64> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| {
@@ -90,8 +90,8 @@ impl BatchingServer {
             .collect();
 
         let dispatch = |gpu: &mut Gpu,
-                        pending: &mut HashMap<DnnKind, VecDeque<Job>>,
-                        in_flight: &mut HashMap<u64, Vec<Job>>,
+                        pending: &mut BTreeMap<DnnKind, VecDeque<Job>>,
+                        in_flight: &mut BTreeMap<u64, Vec<Job>>,
                         busy: &mut bool,
                         next_tag: &mut u64|
          -> Result<(), GpuError> {

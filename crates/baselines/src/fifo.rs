@@ -1,7 +1,7 @@
 //! An RTGPU-style multi-stream FIFO baseline: concurrency without priorities,
 //! staging or admission control.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -43,7 +43,7 @@ impl FifoMultiStreamServer {
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
@@ -59,14 +59,14 @@ impl FifoMultiStreamServer {
             ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
 
         let mut pending: VecDeque<Job> = VecDeque::new();
-        let mut busy: HashMap<StreamId, bool> = streams.iter().map(|s| (*s, false)).collect();
-        let mut in_flight: HashMap<u64, (StreamId, Job)> = HashMap::new();
+        let mut busy: BTreeMap<StreamId, bool> = streams.iter().map(|s| (*s, false)).collect();
+        let mut in_flight: BTreeMap<u64, (StreamId, Job)> = BTreeMap::new();
         let mut next_tag = 0u64;
 
         let dispatch = |gpu: &mut Gpu,
                         pending: &mut VecDeque<Job>,
-                        busy: &mut HashMap<StreamId, bool>,
-                        in_flight: &mut HashMap<u64, (StreamId, Job)>,
+                        busy: &mut BTreeMap<StreamId, bool>,
+                        in_flight: &mut BTreeMap<u64, (StreamId, Job)>,
                         next_tag: &mut u64|
          -> Result<(), GpuError> {
             loop {

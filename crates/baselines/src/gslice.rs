@@ -1,6 +1,6 @@
 //! A GSlice-like controlled spatial-sharing baseline (Sec. VI-B).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -21,7 +21,7 @@ use crate::single_tenant::{run_fifo_loop, LoopEvent};
 pub struct GsliceServer {
     spec: GpuSpec,
     partitions: u32,
-    batch_size: HashMap<DnnKind, u32>,
+    batch_size: BTreeMap<DnnKind, u32>,
 }
 
 impl GsliceServer {
@@ -59,7 +59,7 @@ impl GsliceServer {
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
@@ -77,19 +77,19 @@ impl GsliceServer {
             ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
 
         // Per-partition, per-model pending queues.
-        let mut pending: Vec<HashMap<DnnKind, VecDeque<Job>>> =
-            (0..self.partitions).map(|_| HashMap::new()).collect();
+        let mut pending: Vec<BTreeMap<DnnKind, VecDeque<Job>>> =
+            (0..self.partitions).map(|_| BTreeMap::new()).collect();
         let mut busy: Vec<bool> = vec![false; self.partitions as usize];
-        let mut in_flight: HashMap<u64, (usize, Vec<Job>)> = HashMap::new();
+        let mut in_flight: BTreeMap<u64, (usize, Vec<Job>)> = BTreeMap::new();
         let mut next_tag = 0u64;
         let batch_sizes = self.batch_size.clone();
         let partitions = self.partitions as usize;
 
         let dispatch = |gpu: &mut Gpu,
                         partition: usize,
-                        pending: &mut Vec<HashMap<DnnKind, VecDeque<Job>>>,
+                        pending: &mut Vec<BTreeMap<DnnKind, VecDeque<Job>>>,
                         busy: &mut Vec<bool>,
-                        in_flight: &mut HashMap<u64, (usize, Vec<Job>)>,
+                        in_flight: &mut BTreeMap<u64, (usize, Vec<Job>)>,
                         next_tag: &mut u64|
          -> Result<(), GpuError> {
             if busy[partition] {

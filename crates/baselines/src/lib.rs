@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-baselines
 //!
 //! The comparison schedulers used by the DARIS paper's evaluation, all

@@ -1,6 +1,6 @@
 //! The single-tenant (one DNN at a time) lower baseline.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -60,7 +60,7 @@ impl SingleTenantServer {
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
@@ -72,13 +72,13 @@ impl SingleTenantServer {
         let plan = ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None);
         let arrivals: Vec<Job> = plan.into_iter().collect();
         let mut pending: VecDeque<Job> = VecDeque::new();
-        let mut in_flight: HashMap<u64, Job> = HashMap::new();
+        let mut in_flight: BTreeMap<u64, Job> = BTreeMap::new();
         let mut next_tag = 0u64;
         let mut busy = false;
 
         let dispatch = |gpu: &mut Gpu,
                         pending: &mut VecDeque<Job>,
-                        in_flight: &mut HashMap<u64, Job>,
+                        in_flight: &mut BTreeMap<u64, Job>,
                         busy: &mut bool,
                         next_tag: &mut u64|
          -> Result<(), GpuError> {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-bench
 //!
 //! Experiment runners that regenerate every table and figure of the DARIS
@@ -627,6 +628,9 @@ pub fn cluster_scaling_wide(max_devices: usize, threads: usize) -> Vec<Table> {
                 threads,
                 ..Default::default()
             };
+            // Sanctioned wall-clock site (determinism rule D002): timing
+            // harness only, never feeds simulation state.
+            #[allow(clippy::disallowed_methods)]
             let start = std::time::Instant::now();
             let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, config)
                 .expect("valid wide-sweep configuration");

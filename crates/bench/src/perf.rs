@@ -62,6 +62,9 @@ pub struct PerfRun {
     pub sections: Vec<SectionResult>,
 }
 
+// Sanctioned wall-clock site (determinism rule D002): timing harness only,
+// never feeds simulation state.
+#[allow(clippy::disallowed_methods)]
 fn time_section(name: &str, f: impl FnOnce() -> (u64, u64, f64)) -> SectionResult {
     let start = Instant::now();
     let (events, completed_jobs, hp_dmr) = f();

@@ -51,7 +51,7 @@
 //! lands on it and [`ClusterDispatcher::catch_up`] fast-forwards it in one
 //! jump; `finish` aligns every device at the horizon.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
 use daris_gpu::{GpuSpec, SimDuration, SimTime};
@@ -166,7 +166,7 @@ struct DeviceRuntime {
     /// the whole run (it has no scheduler to adopt guests into either).
     scheduler: Option<DarisScheduler>,
     /// Global task index → device-local task id (placed and adopted tasks).
-    local_of_global: HashMap<usize, TaskId>,
+    local_of_global: BTreeMap<usize, TaskId>,
     /// The inverse map, indexed by local task id.
     global_of_local: Vec<usize>,
 }
@@ -367,7 +367,7 @@ impl ClusterDispatcher {
     pub fn run_replay(&mut self, trace: &Trace) -> Result<ClusterOutcome> {
         let horizon = trace.horizon();
         let n_tasks = self.taskset.len();
-        let unplaced_of: HashMap<usize, TaskId> = self
+        let unplaced_of: BTreeMap<usize, TaskId> = self
             .placement
             .rejected
             .iter()

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-cluster
 //!
 //! Fleet-scale DARIS: shards a real-time DNN inference

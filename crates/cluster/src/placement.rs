@@ -9,7 +9,7 @@
 //! context population); every task is either placed on exactly one device or
 //! explicitly rejected.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use daris_core::AFET_INFLATION;
 use daris_gpu::GpuSpec;
@@ -69,7 +69,7 @@ impl Placement {
 
 /// Estimated Eq. 10 utilization of one task: inflated isolated latency (on
 /// the reference device, at the task's batch size) over its period.
-fn task_utilization(task: &TaskSpec, profiles: &HashMap<DnnKind, ModelProfile>) -> f64 {
+fn task_utilization(task: &TaskSpec, profiles: &BTreeMap<DnnKind, ModelProfile>) -> f64 {
     let profile = &profiles[&task.model];
     let afet_us = profile.isolated_latency_us(task.batch_size) * AFET_INFLATION;
     afet_us / task.period.as_micros_f64().max(1e-9)
@@ -79,7 +79,7 @@ fn task_utilization(task: &TaskSpec, profiles: &HashMap<DnnKind, ModelProfile>) 
 /// task, with model profiles calibrated against `reference`. Exposed so
 /// tests and capacity planners can audit a [`Placement`] independently.
 pub fn utilization_estimates(taskset: &TaskSet, reference: &GpuSpec) -> Vec<f64> {
-    let profiles: HashMap<DnnKind, ModelProfile> = taskset
+    let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
         .model_kinds()
         .into_iter()
         .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), reference)))
@@ -98,7 +98,7 @@ pub fn place(
     strategy: PlacementStrategy,
     reference: &GpuSpec,
 ) -> Placement {
-    let profiles: HashMap<DnnKind, ModelProfile> = taskset
+    let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
         .model_kinds()
         .into_iter()
         .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), reference)))
@@ -111,7 +111,7 @@ pub fn place(
         cluster.devices().iter().map(|d| d.utilization_capacity(reference.sm_count)).collect();
     let mut used = vec![0.0f64; n_devices];
     let mut mem_used = vec![0u64; n_devices];
-    let mut resident: Vec<HashSet<DnnKind>> = vec![HashSet::new(); n_devices];
+    let mut resident: Vec<BTreeSet<DnnKind>> = vec![BTreeSet::new(); n_devices];
     let mut device_of: Vec<Option<usize>> = vec![None; taskset.len()];
     let mut rejected = Vec::new();
 
@@ -128,7 +128,7 @@ pub fn place(
     for idx in order {
         let task = &taskset.tasks()[idx];
         let weight = profiles[&task.model].weight_bytes();
-        let fits = |d: usize, used: &[f64], mem_used: &[u64], resident: &[HashSet<DnnKind>]| {
+        let fits = |d: usize, used: &[f64], mem_used: &[u64], resident: &[BTreeSet<DnnKind>]| {
             let extra_mem = if resident[d].contains(&task.model) { 0 } else { weight };
             used[d] + utils[idx] <= capacity[d] + 1e-9
                 && mem_used[d] + extra_mem <= cluster.devices()[d].memory_budget()

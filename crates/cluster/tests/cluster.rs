@@ -15,7 +15,7 @@
 //!   property test over random task sets and fleets, plus a repeated-run
 //!   hash check on an 8-device heterogeneous scenario).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use daris_cluster::{
     place, utilization_estimates, ClusterConfig, ClusterDispatcher, ClusterSpec, DeviceSpec,
@@ -83,9 +83,9 @@ proptest! {
         let utils = utilization_estimates(&taskset, &reference());
 
         // Every task is placed exactly once or explicitly rejected.
-        let rejected: HashSet<usize> = placement.rejected.iter().map(|id| id.index()).collect();
+        let rejected: BTreeSet<usize> = placement.rejected.iter().map(|id| id.index()).collect();
         prop_assert_eq!(placement.placed_count() + rejected.len(), taskset.len());
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for (i, device) in placement.device_of.iter().enumerate() {
             match device {
                 Some(d) => {

@@ -9,7 +9,7 @@
 //! one stream while every other stream of the partition continuously executes
 //! the other kinds, and averages the per-stage execution times.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use daris_gpu::{Gpu, SimDuration, WorkItem};
 use daris_models::{DnnKind, ModelProfile};
@@ -23,7 +23,7 @@ const REPETITIONS: usize = 3;
 /// Per-model-kind AFET estimates.
 #[derive(Debug, Clone, Default)]
 pub struct AfetProfiler {
-    per_kind: HashMap<DnnKind, Vec<SimDuration>>,
+    per_kind: BTreeMap<DnnKind, Vec<SimDuration>>,
 }
 
 impl AfetProfiler {
@@ -40,10 +40,10 @@ impl AfetProfiler {
     pub fn profile(
         taskset: &TaskSet,
         config: &DarisConfig,
-        profiles: &HashMap<DnnKind, ModelProfile>,
+        profiles: &BTreeMap<DnnKind, ModelProfile>,
     ) -> Result<Self> {
         let kinds = taskset.model_kinds();
-        let mut per_kind = HashMap::new();
+        let mut per_kind = BTreeMap::new();
         for &target in &kinds {
             let profile = profiles
                 .get(&target)
@@ -57,8 +57,8 @@ impl AfetProfiler {
     /// Builds an AFET table directly from isolated latencies inflated by a
     /// fixed factor (a cheap fallback used in tests and when the caller does
     /// not want a profiling pass).
-    pub fn from_isolated(profiles: &HashMap<DnnKind, ModelProfile>, inflation: f64) -> Self {
-        let mut per_kind = HashMap::new();
+    pub fn from_isolated(profiles: &BTreeMap<DnnKind, ModelProfile>, inflation: f64) -> Self {
+        let mut per_kind = BTreeMap::new();
         for (kind, profile) in profiles {
             let stages = (0..profile.stage_count())
                 .map(|s| {
@@ -96,7 +96,7 @@ fn measure_full_load(
     target_profile: &ModelProfile,
     all_kinds: &[DnnKind],
     config: &DarisConfig,
-    profiles: &HashMap<DnnKind, ModelProfile>,
+    profiles: &BTreeMap<DnnKind, ModelProfile>,
 ) -> Result<Vec<SimDuration>> {
     let partition = config.partition;
     let mut gpu = Gpu::new(config.gpu.clone());
@@ -166,6 +166,7 @@ fn measure_full_load(
     }
     Ok(sums
         .into_iter()
+        // daris-lint: allow(D005, reason = "mean of per-repetition micros; REPETITIONS is a small exact-in-f64 constant and the result re-enters integer time via the rounding from_micros_f64 constructor")
         .map(|total| SimDuration::from_micros_f64(total / REPETITIONS as f64))
         .collect())
 }
@@ -176,7 +177,7 @@ mod tests {
     use crate::GpuPartition;
     use daris_workload::TaskSet;
 
-    fn profiles_for(taskset: &TaskSet) -> HashMap<DnnKind, ModelProfile> {
+    fn profiles_for(taskset: &TaskSet) -> BTreeMap<DnnKind, ModelProfile> {
         taskset.model_kinds().into_iter().map(|k| (k, ModelProfile::calibrated(k))).collect()
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-core
 //!
 //! The DARIS scheduler: a deadline-aware, priority-based, spatio-temporal

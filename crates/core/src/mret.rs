@@ -1,6 +1,6 @@
 //! Maximum Recent Execution Time (MRET) estimation (Sec. III-B2, Eq. 1–2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use daris_gpu::SimDuration;
 use daris_workload::TaskId;
@@ -27,8 +27,8 @@ use daris_workload::TaskId;
 #[derive(Debug, Clone)]
 pub struct MretEstimator {
     window_size: usize,
-    seeds: HashMap<TaskId, Vec<SimDuration>>,
-    windows: HashMap<(TaskId, usize), VecDeque<SimDuration>>,
+    seeds: BTreeMap<TaskId, Vec<SimDuration>>,
+    windows: BTreeMap<(TaskId, usize), VecDeque<SimDuration>>,
 }
 
 impl MretEstimator {
@@ -36,8 +36,8 @@ impl MretEstimator {
     pub fn new(window_size: usize) -> Self {
         MretEstimator {
             window_size: window_size.max(1),
-            seeds: HashMap::new(),
-            windows: HashMap::new(),
+            seeds: BTreeMap::new(),
+            windows: BTreeMap::new(),
         }
     }
 

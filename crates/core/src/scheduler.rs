@@ -7,7 +7,7 @@
 //! job releases from the workload's arrival plan, stage completions from the
 //! GPU, admission/migration decisions, and stage dispatch.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use daris_gpu::{Gpu, SimDuration, SimTime, StreamId, WorkItem};
 use daris_metrics::{ExperimentSummary, MetricsCollector};
@@ -72,22 +72,22 @@ struct ActiveJob {
 pub struct DarisScheduler {
     config: DarisConfig,
     taskset: TaskSet,
-    profiles: HashMap<DnnKind, ModelProfile>,
+    profiles: BTreeMap<DnnKind, ModelProfile>,
     gpu: Gpu,
     /// Streams grouped by context index.
     streams: Vec<Vec<StreamId>>,
-    stream_busy: HashMap<StreamId, bool>,
+    stream_busy: BTreeMap<StreamId, bool>,
     loads: Vec<ContextLoad>,
     queues: Vec<StageQueue>,
     mret: MretEstimator,
     /// Task index → context index (HP fixed; LP updated on migration).
     assignment: Vec<usize>,
-    active: HashMap<JobId, ActiveJob>,
+    active: BTreeMap<JobId, ActiveJob>,
     /// Active jobs indexed by context, in deterministic (job id) order, so
     /// the admission path (`predicted_finish_us`) walks only the jobs of one
     /// context instead of scanning every active job on the device.
     active_of: Vec<BTreeSet<JobId>>,
-    tag_map: HashMap<u64, (JobId, usize)>,
+    tag_map: BTreeMap<u64, (JobId, usize)>,
     next_tag: u64,
     metrics: MetricsCollector,
     mret_trace: Vec<MretSample>,
@@ -108,7 +108,7 @@ impl DarisScheduler {
         if taskset.is_empty() {
             return Err(CoreError::EmptyTaskSet);
         }
-        let profiles: HashMap<DnnKind, ModelProfile> = taskset
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
             .model_kinds()
             .into_iter()
             .map(|k| {
@@ -167,9 +167,9 @@ impl DarisScheduler {
             queues,
             mret,
             assignment,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             active_of: (0..n_contexts).map(|_| BTreeSet::new()).collect(),
-            tag_map: HashMap::new(),
+            tag_map: BTreeMap::new(),
             next_tag: 0,
             metrics: MetricsCollector::new(),
             mret_trace: Vec::new(),
@@ -398,7 +398,7 @@ impl DarisScheduler {
         }
         let local = self.taskset.adopt(task.clone());
         let spec = self.taskset.task(local).expect("just adopted").clone();
-        let profiles: HashMap<DnnKind, ModelProfile> =
+        let profiles: BTreeMap<DnnKind, ModelProfile> =
             [(spec.model, self.profiles[&spec.model].clone())].into_iter().collect();
         let afet = AfetProfiler::from_isolated(&profiles, AFET_INFLATION);
         let seeds = effective_stage_seeds(&afet, &spec, &self.config);

@@ -41,7 +41,7 @@
 //! not change.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::context::Context;
 use crate::kernel::{KernelDesc, KernelPhase, WorkItem, WorkItemId};
@@ -190,12 +190,12 @@ pub struct Gpu {
     now: SimTime,
     contexts: Vec<Context>,
     streams: Vec<Stream>,
-    items: HashMap<WorkItemId, ItemInstance>,
+    items: BTreeMap<WorkItemId, ItemInstance>,
     next_item_id: u64,
     copy_queue: VecDeque<(WorkItemId, CopyDirection)>,
     active_copy: Option<ActiveCopy>,
     /// Current SM rate (SMs × efficiency) per actively computing item.
-    rates: HashMap<WorkItemId, f64>,
+    rates: BTreeMap<WorkItemId, f64>,
     /// The event calendar (min-heap by event time, lazily invalidated).
     calendar: BinaryHeap<Reverse<CalendarEntry>>,
     /// Monotonic scheduling counter used as the calendar tie-breaker.
@@ -229,11 +229,11 @@ impl Gpu {
             now: SimTime::ZERO,
             contexts: Vec::new(),
             streams: Vec::new(),
-            items: HashMap::new(),
+            items: BTreeMap::new(),
             next_item_id: 0,
             copy_queue: VecDeque::new(),
             active_copy: None,
-            rates: HashMap::new(),
+            rates: BTreeMap::new(),
             calendar: BinaryHeap::new(),
             cal_seq: 0,
             copy_epoch: 0,
@@ -1199,7 +1199,7 @@ mod tests {
         let alloc = water_fill(68.0, &ids);
         let total: f64 = alloc.iter().map(|(_, a)| a).sum();
         assert!(total <= 68.0 + 1e-9);
-        let by_id: HashMap<_, _> = alloc.into_iter().collect();
+        let by_id: BTreeMap<_, _> = alloc.into_iter().collect();
         assert!((by_id[&WorkItemId(0)] - 10.0).abs() < 1e-9);
         assert!((by_id[&WorkItemId(1)] - 29.0).abs() < 1e-9);
         assert!((by_id[&WorkItemId(2)] - 29.0).abs() < 1e-9);
@@ -1209,7 +1209,7 @@ mod tests {
     fn water_fill_with_spare_capacity_gives_everyone_their_cap() {
         let ids = [(WorkItemId(0), 10u32), (WorkItemId(1), 20u32)];
         let alloc = water_fill(68.0, &ids);
-        let by_id: HashMap<_, _> = alloc.into_iter().collect();
+        let by_id: BTreeMap<_, _> = alloc.into_iter().collect();
         assert_eq!(by_id[&WorkItemId(0)], 10.0);
         assert_eq!(by_id[&WorkItemId(1)], 20.0);
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-gpu
 //!
 //! A discrete-event simulator of an NVIDIA-style GPU as seen by an inference

@@ -6,7 +6,7 @@
 //! that: named allocations against a fixed capacity, with explicit errors
 //! when a task set would not fit on the device.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::GpuError;
 
@@ -42,13 +42,13 @@ pub struct MemoryPool {
     allocated: u64,
     peak: u64,
     next_handle: u64,
-    live: HashMap<u64, (String, u64)>,
+    live: BTreeMap<u64, (String, u64)>,
 }
 
 impl MemoryPool {
     /// Creates a pool with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        MemoryPool { capacity, allocated: 0, peak: 0, next_handle: 1, live: HashMap::new() }
+        MemoryPool { capacity, allocated: 0, peak: 0, next_handle: 1, live: BTreeMap::new() }
     }
 
     /// Allocates `bytes` under a human-readable label, returning an opaque

@@ -50,6 +50,7 @@ impl SimTime {
 
     /// Creates an instant from a floating-point number of seconds.
     pub fn from_secs_f64(secs: f64) -> Self {
+        // daris-lint: allow(D005, reason = "this IS the sanctioned float->time entry point: rounds to the nearest exact integer nanosecond before the cast")
         SimTime((secs.max(0.0) * 1e9).round() as u64)
     }
 
@@ -113,6 +114,7 @@ impl SimDuration {
         if !us.is_finite() || us <= 0.0 {
             return SimDuration::ZERO;
         }
+        // daris-lint: allow(D005, reason = "this IS the sanctioned float->duration entry point: rounds to the nearest exact integer nanosecond before the cast")
         SimDuration((us * 1e3).round() as u64)
     }
 

@@ -174,3 +174,47 @@ fn golden_oversubscribed_small_steps() {
     assert_eq!(all.len(), 40);
     check_or_regen("oversubscribed_small_steps", &all);
 }
+
+/// FNV-1a over the serialized completion stream: a stable digest for
+/// comparing whole runs without committing another fixture.
+fn trace_hash(completions: &[Completion]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in serialize(completions).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The engine's per-item state (`items`, the water-filling `rates`) lives in
+/// `BTreeMap`s precisely so that two runs of the same workload are
+/// byte-identical. Each fresh engine would get fresh (per-process-random)
+/// hasher state if those maps ever regressed to `HashMap` and iteration order
+/// leaked into the results — this repeated-run hash test is the dynamic pin
+/// for daris-lint rule D001 (see crates/lint).
+#[test]
+fn repeated_runs_hash_identically() {
+    let run_once = || {
+        // Oversubscribed multi-context burst: maximum pressure on the
+        // water-filling `rates` state and the copy-engine queue.
+        let mut rng = XorShiftRng::new(0xD1CE_0006);
+        let mut gpu = Gpu::new(GpuSpec::rtx_2080_ti());
+        let mut streams = Vec::new();
+        for _ in 0..4 {
+            let ctx = gpu.add_context(40).unwrap();
+            streams.push(gpu.add_stream(ctx).unwrap());
+            streams.push(gpu.add_stream(ctx).unwrap());
+        }
+        for tag in 0..64u64 {
+            let stream = streams[(rng.next_u64() % streams.len() as u64) as usize];
+            gpu.submit(stream, random_item(&mut rng, tag)).unwrap();
+        }
+        let done = gpu.run_to_idle();
+        assert_eq!(done.len(), 64);
+        trace_hash(&done)
+    };
+    let first = run_once();
+    for rep in 1..5 {
+        assert_eq!(run_once(), first, "run {rep} diverged from run 0");
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! This is not a full implementation of the Rust lexical grammar — it is
+//! exactly the subset the determinism rules need: identifiers, punctuation,
+//! and literals with correct *skipping* of the constructs that would otherwise
+//! produce false positives (string/char/byte literals, lifetimes, nested block
+//! comments, raw strings with arbitrary `#` fences). Line comments are
+//! captured rather than skipped because the waiver grammar
+//! (`// daris-lint: allow(...)`) lives in them.
+//!
+//! The lexer never fails: unexpected bytes become single-character punctuation
+//! tokens, and an unterminated literal simply consumes to end of input. A lint
+//! must degrade gracefully on code that `rustc` itself would reject.
+
+/// One lexical token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+/// Token classification. Only the distinctions the rules consume are made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `in`, `as`, `let` are matched by text).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Numeric literal; `is_float` is true for literals with a fractional
+    /// part or a decimal exponent (`1.5`, `1e9`), never for hex/octal/binary.
+    Number { is_float: bool },
+    /// String, byte-string, raw-string, or char literal (contents dropped).
+    Literal,
+}
+
+/// A captured `//` line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    pub line: u32,
+    /// Comment text excluding the leading `//`.
+    pub text: String,
+    /// True when the comment is the first non-whitespace on its line, so a
+    /// waiver in it targets the *next* line instead of its own.
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus the captured line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source` into tokens and line comments.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether any non-whitespace token/comment started on this line
+    // before the current position (for `LineComment::own_line`).
+    let mut line_has_code = false;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: source[start..end].to_string(),
+                    own_line: !line_has_code,
+                });
+                line_has_code = true;
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_has_code = false;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 1;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token { line, kind: TokenKind::Literal });
+                line_has_code = true;
+            }
+            'r' | 'b' if is_raw_or_byte_literal(bytes, i) => {
+                i = skip_raw_or_byte_literal(bytes, i, &mut line);
+                out.tokens.push(Token { line, kind: TokenKind::Literal });
+                line_has_code = true;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'` + ident with no
+                // closing quote; anything else (escape, or `'x'`) is a char.
+                line_has_code = true;
+                let next = bytes.get(i + 1).copied();
+                let is_char = match next {
+                    Some(b'\\') => true,
+                    Some(_) => {
+                        // Find where an identifier run after `'` would end; a
+                        // char literal closes with `'` right after one char.
+                        bytes.get(i + 2) == Some(&b'\'')
+                    }
+                    None => false,
+                };
+                if is_char {
+                    i += 1; // past opening quote
+                    if bytes.get(i) == Some(&b'\\') {
+                        i += 2; // escape lead + escaped char (enough for \n, \', \\)
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1; // longer escapes: \u{..}, \x41
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        i += 1; // closing quote
+                    }
+                    out.tokens.push(Token { line, kind: TokenKind::Literal });
+                } else {
+                    // Lifetime: consume `'ident` and drop it.
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens
+                    .push(Token { line, kind: TokenKind::Ident(source[start..i].to_string()) });
+                line_has_code = true;
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(bytes, i, &mut out, line);
+                line_has_code = true;
+            }
+            _ => {
+                out.tokens.push(Token { line, kind: TokenKind::Punct(c) });
+                line_has_code = true;
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is position `i` (at `r` or `b`) the start of a raw/byte string literal
+/// rather than an identifier? (`r"`, `r#`, `b"`, `b'`, `br`, `rb` is not a
+/// thing; `br"`/`br#` is.)
+fn is_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    // Must not be mid-identifier: caller dispatches on first char only, and
+    // identifiers are consumed greedily elsewhere, so `i` starts a token.
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote. Tracks newlines.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips raw strings (`r#*"..."#*`), byte strings, and byte chars.
+fn skip_raw_or_byte_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'\'' {
+            // Byte char b'x' / b'\n'.
+            i += 1;
+            if i < bytes.len() && bytes[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+            if i < bytes.len() && bytes[i] == b'\'' {
+                i += 1;
+            }
+            return i;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            return skip_string(bytes, i, line);
+        }
+    }
+    // Raw string: r#*" ... "#*
+    debug_assert_eq!(bytes[i], b'r');
+    i += 1;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i; // not actually a raw string (e.g. `r#ident`); treat as consumed
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a numeric literal; pushes a `Number` token.
+fn skip_number(bytes: &[u8], mut i: usize, out: &mut Lexed, line: u32) -> usize {
+    let radix_prefixed = bytes[i] == b'0'
+        && matches!(bytes.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'));
+    let mut is_float = false;
+    if radix_prefixed {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+    } else {
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+        // Fractional part only when followed by a digit (`1.max` is a method
+        // call, `1..2` is a range).
+        if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+            is_float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+            let mut j = i + 1;
+            if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j].is_ascii_digit() {
+                is_float = true;
+                i = j;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+        }
+        // Type suffix (`1.0f64`, `3u32`).
+        if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'u' || bytes[i] == b'i') {
+            let start = i;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            if bytes[start] == b'f' {
+                is_float = true;
+            }
+        }
+    }
+    out.tokens.push(Token { line, kind: TokenKind::Number { is_float } });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_idents() {
+        let src = r###"
+            // HashMap in a comment
+            /* HashMap /* nested HashMap */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw "quoted" string"#;
+            let c = 'H';
+            let b = b"HashMap bytes";
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "leaked from literal: {ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime ident `a` is dropped, not mis-lexed as a char.
+        assert_eq!(lex(src).tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(), 0);
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks = lex("1.5 1e9 10 0x1f 2.0f64 3u32").tokens;
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Number { is_float } => Some(is_float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn comment_capture_and_own_line() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;\n";
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(!lx.comments[0].own_line);
+        assert_eq!(lx.comments[0].text.trim(), "trailing");
+        assert!(lx.comments[1].own_line);
+        assert_eq!(lx.comments[1].line, 2);
+    }
+
+    #[test]
+    fn method_on_int_literal_is_not_float() {
+        let toks = lex("1.max(2)").tokens;
+        assert_eq!(toks[0].kind, TokenKind::Number { is_float: false });
+    }
+}

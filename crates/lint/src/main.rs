@@ -1,0 +1,102 @@
+#![forbid(unsafe_code)]
+//! CLI for `daris-lint`. See the library docs for the rule set.
+//!
+//! ```text
+//! daris-lint [--root PATH] [--format human|json] [--out FILE] [--rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings (or stale/malformed waivers),
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
+    let mut out_file: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => return usage("--format must be `human` or `json`"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_file = Some(PathBuf::from(p)),
+                None => return usage("--out needs a path"),
+            },
+            "--rules" => {
+                for r in daris_lint::rules::RULES {
+                    println!("{}  {}\n      scope: {}", r.id.as_str(), r.title, r.scope);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "daris-lint: determinism static analysis for the DARIS workspace\n\
+                     usage: daris-lint [--root PATH] [--format human|json] [--out FILE] [--rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Walking from a subdirectory would silently lint a partial workspace and
+    // report a misleading all-clean; require the workspace root.
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        eprintln!(
+            "daris-lint: `{}` does not look like the workspace root (no Cargo.toml + crates/)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match daris_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("daris-lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = match format {
+        Format::Human => report.render_human(),
+        Format::Json => report.render_json(),
+    };
+    match &out_file {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("daris-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            // Keep the console actionable even when the artifact goes to disk.
+            if !report.clean() {
+                eprint!("{}", report.render_human());
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("daris-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,731 @@
+//! The determinism rule set (D001–D006) and the token-stream analyses that
+//! implement it.
+//!
+//! Every rule is a heuristic over the lexed token stream — deliberately so.
+//! The pass runs offline with no `syn`, no type information, and no network,
+//! which means it must over-approximate in places; the waiver grammar
+//! (`// daris-lint: allow(<rule>, reason = "...")`, see [`crate::waiver`])
+//! exists precisely to record the human judgement for each over-approximated
+//! site, and stale waivers are themselves errors so the recorded judgements
+//! can never rot.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Rule identifiers. `W001`/`W002` are waiver meta-errors: they cannot be
+/// waived themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Unordered-container iteration in a sim crate.
+    D001,
+    /// Ambient nondeterminism (wall clock, OS entropy).
+    D002,
+    /// Float accumulation over an unordered source.
+    D003,
+    /// Thread spawn outside the sanctioned worker-pool module.
+    D004,
+    /// Lossy float<->int `as` cast in sim-time arithmetic.
+    D005,
+    /// Missing `#![forbid(unsafe_code)]` in a library crate root.
+    D006,
+    /// Malformed waiver (bad grammar or missing reason).
+    W001,
+    /// Stale waiver (matched no finding).
+    W002,
+}
+
+impl RuleId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
+            RuleId::D005 => "D005",
+            RuleId::D006 => "D006",
+            RuleId::W001 => "W001",
+            RuleId::W002 => "W002",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D001" => Some(RuleId::D001),
+            "D002" => Some(RuleId::D002),
+            "D003" => Some(RuleId::D003),
+            "D004" => Some(RuleId::D004),
+            "D005" => Some(RuleId::D005),
+            "D006" => Some(RuleId::D006),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding, pre- or post-waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: RuleId,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Static description of a rule, kept in sync with `clippy.toml` and the
+/// DESIGN.md rule table.
+pub struct RuleInfo {
+    pub id: RuleId,
+    pub title: &'static str,
+    pub scope: &'static str,
+}
+
+/// The rule table. `DESIGN.md` ("Determinism invariants & static analysis")
+/// renders this for humans; `clippy.toml` mirrors D001/D002 natively.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: RuleId::D001,
+        title: "unordered-container iteration (HashMap/HashSet/RandomState iterated, drained, \
+                retained, or folded; keyed O(1) lookup stays legal)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics (src + tests)",
+    },
+    RuleInfo {
+        id: RuleId::D002,
+        title: "ambient nondeterminism (Instant::now, SystemTime, UNIX_EPOCH, thread_rng)",
+        scope: "everywhere except daris-bench (sanctioned wall-clock timing) and vendor/",
+    },
+    RuleInfo {
+        id: RuleId::D003,
+        title: "float accumulation over an unordered source (.sum/.fold/product or += over a \
+                hash-container iterator)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics (src + tests)",
+    },
+    RuleInfo {
+        id: RuleId::D004,
+        title: "thread spawn outside the sanctioned worker-pool module \
+                (crates/cluster/src/dispatcher.rs)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics (src + tests)",
+    },
+    RuleInfo {
+        id: RuleId::D005,
+        title: "lossy float<->int `as` cast in sim-time arithmetic",
+        scope: "sim crates: gpu, core, cluster, workload, metrics (src + tests)",
+    },
+    RuleInfo {
+        id: RuleId::D006,
+        title: "missing #![forbid(unsafe_code)] in a library crate root",
+        scope: "every crates/*/src/lib.rs",
+    },
+];
+
+/// Crates whose simulation results feed the byte-identical guarantee.
+const SIM_CRATES: &[&str] = &["gpu", "core", "cluster", "workload", "metrics"];
+
+/// The one module allowed to spawn threads: the dispatcher's deterministic
+/// worker pool (fixed device->worker assignment, device-index-ordered merge).
+const SANCTIONED_POOL: &str = "crates/cluster/src/dispatcher.rs";
+
+/// Unordered std collections (and their hasher state) covered by D001.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState"];
+
+/// Methods that observe container iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// Accumulators whose result depends on operand order for floats.
+const FOLD_METHODS: &[&str] = &["sum", "fold", "product"];
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Idents that mark a backward token window as float-valued.
+const FLOAT_EVIDENCE_IDENTS: &[&str] =
+    &["f64", "f32", "round", "floor", "ceil", "trunc", "powf", "sqrt"];
+
+/// Substrings of a source line that mark it as sim-time arithmetic (D005).
+const TIME_MARKERS: &[&str] = &[
+    "SimTime",
+    "SimDuration",
+    "_us",
+    "_ns",
+    "_ms",
+    "secs",
+    "micros",
+    "nanos",
+    "millis",
+    "period",
+    "deadline",
+    "horizon",
+    "quantum",
+];
+
+/// Where a file sits relative to the rule scopes.
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    /// `crates/<name>` -> name; root `src`/`tests`/`examples` -> "root".
+    pub crate_name: String,
+    pub is_sim: bool,
+    /// daris-bench: wall-clock timing is its purpose.
+    pub wall_clock_sanctioned: bool,
+    /// The dispatcher worker-pool module (D004-sanctioned).
+    pub pool_sanctioned: bool,
+    /// File must carry `#![forbid(unsafe_code)]` (D006).
+    pub requires_forbid_unsafe: bool,
+}
+
+impl FileScope {
+    /// Derives the scope from a repo-relative, forward-slash path.
+    pub fn from_path(rel_path: &str) -> FileScope {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("root")
+            .to_string();
+        let is_sim = SIM_CRATES.contains(&crate_name.as_str());
+        let requires_forbid_unsafe = rel_path.starts_with("crates/")
+            && rel_path.ends_with("/src/lib.rs")
+            && rel_path.matches('/').count() == 3;
+        FileScope {
+            is_sim,
+            wall_clock_sanctioned: crate_name == "bench",
+            pool_sanctioned: rel_path == SANCTIONED_POOL,
+            requires_forbid_unsafe,
+            crate_name,
+        }
+    }
+}
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(tokens: &[Token], i: usize) -> Option<char> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// `i` points at the second `:` of a `::` pair?
+fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    punct(tokens, i) == Some(':') && punct(tokens, i + 1) == Some(':')
+}
+
+/// Runs every rule on one lexed file. Waivers are applied by the caller.
+pub fn analyze(rel_path: &str, source: &str, lexed: &Lexed) -> Vec<Finding> {
+    let scope = FileScope::from_path(rel_path);
+    let tokens = &lexed.tokens;
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+
+    let hash_idents = collect_hash_idents(tokens);
+
+    if scope.is_sim {
+        check_d001_d003(rel_path, tokens, &hash_idents, &mut findings);
+        if !scope.pool_sanctioned {
+            check_d004(rel_path, tokens, &mut findings);
+        }
+        check_d005(rel_path, tokens, &lines, &mut findings);
+    }
+    if !scope.wall_clock_sanctioned {
+        check_d002(rel_path, tokens, &mut findings);
+    }
+    if scope.requires_forbid_unsafe {
+        check_d006(rel_path, tokens, &mut findings);
+    }
+
+    findings
+}
+
+/// Pass 1 of D001: every identifier that is ever declared or annotated with a
+/// hash-container type anywhere in the file (locals, fields, and parameters
+/// pool together — file granularity is plenty for a lint).
+fn collect_hash_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Pattern A: `name : <type containing HashMap/HashSet>` — covers
+        // `let x: T`, struct fields, and fn parameters. A `::` on either
+        // side means `name` is a path segment, not a binding.
+        if let Some(name) = ident(tokens, i) {
+            let preceded_by_sep = i >= 1 && punct(tokens, i - 1) == Some(':');
+            if !preceded_by_sep
+                && punct(tokens, i + 1) == Some(':')
+                && punct(tokens, i + 2) != Some(':')
+                && type_window_has_hash(tokens, i + 2)
+            {
+                found.insert(name.to_string());
+            }
+            // Pattern B: `let [mut] name = <expr mentioning HashMap/HashSet>;`
+            if name == "let" {
+                let mut j = i + 1;
+                if ident(tokens, j) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(bound) = ident(tokens, j) {
+                    if init_window_has_hash(tokens, j + 1) {
+                        found.insert(bound.to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Scans a type position (after `name:`) for a hash type, stopping at the
+/// end of the type expression.
+fn type_window_has_hash(tokens: &[Token], mut i: usize) -> bool {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let limit = i + 48;
+    while i < tokens.len() && i < limit {
+        match &tokens[i].kind {
+            TokenKind::Ident(s) if HASH_TYPES.contains(&s.as_str()) => return true,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => paren += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                paren -= 1;
+                if paren < 0 {
+                    return false;
+                }
+            }
+            TokenKind::Punct(';') | TokenKind::Punct('=') | TokenKind::Punct('{') => return false,
+            TokenKind::Punct(',') if angle == 0 && paren == 0 => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Scans a `let` initializer (from just after the bound name) for a hash
+/// type mention before the terminating `;`.
+fn init_window_has_hash(tokens: &[Token], mut i: usize) -> bool {
+    let mut depth = 0i32;
+    let limit = i + 96;
+    while i < tokens.len() && i < limit {
+        match &tokens[i].kind {
+            TokenKind::Ident(s) if HASH_TYPES.contains(&s.as_str()) => return true,
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return false,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+/// D001 (iteration of unordered containers) and its D003 companion (float
+/// accumulation chained onto such an iteration).
+fn check_d001_d003(
+    rel_path: &str,
+    tokens: &[Token],
+    hash_idents: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < tokens.len() {
+        // `recv.method(...)` where method observes iteration order.
+        if punct(tokens, i) == Some('.') {
+            if let Some(m) = ident(tokens, i + 1) {
+                if ITER_METHODS.contains(&m) && receiver_is_hash(tokens, i, hash_idents) {
+                    findings.push(Finding {
+                        rule: RuleId::D001,
+                        file: rel_path.to_string(),
+                        line: tokens[i + 1].line,
+                        message: format!(
+                            "`.{m}()` iterates an unordered container; use BTreeMap/BTreeSet or \
+                             sort the keys first"
+                        ),
+                    });
+                    check_chain_fold(rel_path, tokens, i + 2, findings);
+                }
+            }
+        }
+        // `for pat in [&][mut] [self.]hash_ident {`
+        if ident(tokens, i) == Some("for") {
+            if let Some((line, body_start)) = for_over_hash(tokens, i, hash_idents) {
+                findings.push(Finding {
+                    rule: RuleId::D001,
+                    file: rel_path.to_string(),
+                    line,
+                    message: "`for` loop over an unordered container; use BTreeMap/BTreeSet or \
+                              sort the keys first"
+                        .to_string(),
+                });
+                check_body_accumulation(rel_path, tokens, body_start, findings);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Is the receiver of the method call at `dot` (index of `.`) a known hash
+/// identifier, or a `HashMap::new()`-style constructor chain?
+fn receiver_is_hash(tokens: &[Token], dot: usize, hash_idents: &BTreeSet<String>) -> bool {
+    if dot == 0 {
+        return false;
+    }
+    if let Some(name) = ident(tokens, dot - 1) {
+        return hash_idents.contains(name);
+    }
+    if punct(tokens, dot - 1) == Some(')') {
+        // Walk back over the call's parens, then look for `Hash* :: ctor (`.
+        let mut depth = 0i32;
+        let mut j = dot - 1;
+        loop {
+            match punct(tokens, j) {
+                Some(')') => depth += 1,
+                Some('(') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return false;
+            }
+            j -= 1;
+        }
+        if j >= 4 && ident(tokens, j - 1).is_some() && is_path_sep(tokens, j - 3) {
+            if let Some(t) = ident(tokens, j - 4) {
+                return HASH_TYPES.contains(&t);
+            }
+        }
+    }
+    false
+}
+
+/// After a flagged iteration method at token index `i`, scans the rest of the
+/// expression chain for `.sum()`/`.fold()`/`.product()` (D003).
+fn check_chain_fold(rel_path: &str, tokens: &[Token], mut i: usize, findings: &mut Vec<Finding>) {
+    let mut depth = 0i32;
+    let limit = i + 96;
+    while i < tokens.len() && i < limit {
+        match &tokens[i].kind {
+            TokenKind::Punct(';') | TokenKind::Punct('{') if depth == 0 => return,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth < 0 {
+                    return;
+                }
+            }
+            TokenKind::Punct('.') if depth == 0 => {
+                if let Some(m) = ident(tokens, i + 1) {
+                    if FOLD_METHODS.contains(&m) {
+                        findings.push(Finding {
+                            rule: RuleId::D003,
+                            file: rel_path.to_string(),
+                            line: tokens[i + 1].line,
+                            message: format!(
+                                "`.{m}()` accumulates floats in the iteration order of an \
+                                 unordered container; the result depends on hasher state"
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Detects `for pat in <hash expr> {` starting at the `for` token. Returns
+/// the finding line and the token index just after the body's `{`.
+fn for_over_hash(
+    tokens: &[Token],
+    f: usize,
+    hash_idents: &BTreeSet<String>,
+) -> Option<(u32, usize)> {
+    // Find `in` at depth 0 within a short window (patterns can contain
+    // parens/commas, e.g. `for (k, v) in ...`).
+    let mut i = f + 1;
+    let mut depth = 0i32;
+    let limit = f + 24;
+    let in_pos = loop {
+        if i >= tokens.len() || i > limit {
+            return None;
+        }
+        match &tokens[i].kind {
+            TokenKind::Ident(s) if s == "in" && depth == 0 => break i,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Punct('{') | TokenKind::Punct(';') => return None,
+            _ => {}
+        }
+        i += 1;
+    };
+    // Iterable expr: tokens between `in` and the body `{`. Only flag the
+    // simple forms `&hash`, `&mut hash`, `hash`, `self.hash`, `a.b.hash` —
+    // method calls in the expr are covered by the `.method()` rule.
+    let mut expr: Vec<&Token> = Vec::new();
+    let mut j = in_pos + 1;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => break,
+            _ => expr.push(&tokens[j]),
+        }
+        j += 1;
+        if expr.len() > 12 {
+            return None;
+        }
+    }
+    let mut last_ident: Option<&str> = None;
+    for t in &expr {
+        match &t.kind {
+            TokenKind::Ident(s) if s == "mut" => {}
+            TokenKind::Ident(s) => last_ident = Some(s),
+            TokenKind::Punct('&') | TokenKind::Punct('.') => {}
+            _ => return None, // anything fancier than a dotted path
+        }
+    }
+    let name = last_ident?;
+    if hash_idents.contains(name) {
+        Some((tokens[f].line, j + 1))
+    } else {
+        None
+    }
+}
+
+/// D003 inside a `for`-over-hash body: a `+=` statement with float evidence.
+/// Integer `+=` (counters) is order-independent and stays legal.
+fn check_body_accumulation(
+    rel_path: &str,
+    tokens: &[Token],
+    body_start: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let mut depth = 1i32;
+    let mut i = body_start;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('+')
+                if punct(tokens, i + 1) == Some('=') && statement_has_float_evidence(tokens, i) =>
+            {
+                findings.push(Finding {
+                    rule: RuleId::D003,
+                    file: rel_path.to_string(),
+                    line: tokens[i].line,
+                    message: "float `+=` accumulation inside iteration over an unordered \
+                              container; the sum depends on hasher state"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Float evidence anywhere in the statement surrounding token `i` (bounded by
+/// `;`/`{`/`}` on both sides).
+fn statement_has_float_evidence(tokens: &[Token], i: usize) -> bool {
+    let is_boundary = |t: &Token| {
+        matches!(t.kind, TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}'))
+    };
+    let mut lo = i;
+    while lo > 0 && !is_boundary(&tokens[lo - 1]) && i - lo < 48 {
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi + 1 < tokens.len() && !is_boundary(&tokens[hi + 1]) && hi - i < 48 {
+        hi += 1;
+    }
+    tokens[lo..=hi].iter().any(float_evidence)
+}
+
+fn float_evidence(t: &Token) -> bool {
+    match &t.kind {
+        TokenKind::Number { is_float } => *is_float,
+        TokenKind::Ident(s) => {
+            FLOAT_EVIDENCE_IDENTS.contains(&s.as_str())
+                || s.ends_with("_f64")
+                || s.ends_with("_f32")
+        }
+        _ => false,
+    }
+}
+
+/// D002: wall clock and OS entropy.
+fn check_d002(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let TokenKind::Ident(s) = &t.kind else { continue };
+        let flagged = match s.as_str() {
+            "Instant" => is_path_sep(tokens, i + 1) && ident(tokens, i + 3) == Some("now"),
+            "SystemTime" | "UNIX_EPOCH" | "thread_rng" | "ThreadRng" => true,
+            _ => false,
+        };
+        if flagged {
+            findings.push(Finding {
+                rule: RuleId::D002,
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{s}` reads ambient state (wall clock / OS entropy); sim code must derive \
+                     everything from SimTime and seeded RNGs"
+                ),
+            });
+        }
+    }
+}
+
+/// D004: thread spawns outside the sanctioned pool.
+fn check_d004(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if ident(tokens, i) == Some("thread") && is_path_sep(tokens, i + 1) {
+            if let Some(m) = ident(tokens, i + 3) {
+                if matches!(m, "spawn" | "scope" | "Builder") {
+                    findings.push(Finding {
+                        rule: RuleId::D004,
+                        file: rel_path.to_string(),
+                        line: tokens[i].line,
+                        message: format!(
+                            "`thread::{m}` outside the sanctioned worker pool \
+                             ({SANCTIONED_POOL}); ad-hoc threading breaks the fixed \
+                             device->worker merge order"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// D005: lossy float<->int `as` casts in sim-time arithmetic.
+///
+/// Fires when (a) a float-evidenced expression is cast to an integer type, or
+/// (b) an arithmetic expression is cast to `f64`/`f32`, and in both cases the
+/// source *line* carries a sim-time marker (`SimTime`, `_us`, `period`, ...).
+fn check_d005(rel_path: &str, tokens: &[Token], lines: &[&str], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if ident(tokens, i) != Some("as") {
+            continue;
+        }
+        let Some(ty) = ident(tokens, i + 1) else { continue };
+        let to_int = INT_TYPES.contains(&ty);
+        let to_float = ty == "f64" || ty == "f32";
+        if !to_int && !to_float {
+            continue;
+        }
+        let line_no = tokens[i].line;
+        let line_text = lines.get(line_no as usize - 1).copied().unwrap_or("");
+        if !TIME_MARKERS.iter().any(|m| line_text.contains(m)) {
+            continue;
+        }
+        let window = backward_window(tokens, i);
+        let fire = if to_int {
+            window.iter().any(|t| float_evidence(t))
+        } else {
+            // int -> float: only flag when the cast source is *computed*
+            // (arithmetic in the window), not a plain field/counter read
+            // at an API boundary like `self.0 as f64`.
+            window.iter().any(|t| {
+                matches!(
+                    t.kind,
+                    TokenKind::Punct('*')
+                        | TokenKind::Punct('/')
+                        | TokenKind::Punct('+')
+                        | TokenKind::Punct('-')
+                )
+            })
+        };
+        if fire {
+            findings.push(Finding {
+                rule: RuleId::D005,
+                file: rel_path.to_string(),
+                line: line_no,
+                message: format!(
+                    "lossy `as {ty}` cast in sim-time arithmetic; route conversions through the \
+                     SimTime/SimDuration constructors (exact integer nanoseconds) instead"
+                ),
+            });
+        }
+    }
+}
+
+/// Tokens of the postfix expression preceding the `as` at index `i`.
+fn backward_window(tokens: &[Token], i: usize) -> Vec<&Token> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 && out.len() < 40 {
+        j -= 1;
+        match &tokens[j].kind {
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+            TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct(';')
+            | TokenKind::Punct('{')
+            | TokenKind::Punct('}')
+            | TokenKind::Punct('=') => break,
+            TokenKind::Punct(',') if depth == 0 => break,
+            TokenKind::Ident(s)
+                if matches!(s.as_str(), "let" | "return" | "if" | "match" | "for" | "in") =>
+            {
+                break
+            }
+            _ => {}
+        }
+        out.push(&tokens[j]);
+    }
+    out
+}
+
+/// D006: the crate root must open with `#![forbid(unsafe_code)]`.
+fn check_d006(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 7 < tokens.len() {
+        if punct(tokens, i) == Some('#')
+            && punct(tokens, i + 1) == Some('!')
+            && punct(tokens, i + 2) == Some('[')
+            && ident(tokens, i + 3) == Some("forbid")
+            && punct(tokens, i + 4) == Some('(')
+            && ident(tokens, i + 5) == Some("unsafe_code")
+            && punct(tokens, i + 6) == Some(')')
+            && punct(tokens, i + 7) == Some(']')
+        {
+            return;
+        }
+        i += 1;
+    }
+    findings.push(Finding {
+        rule: RuleId::D006,
+        file: rel_path.to_string(),
+        line: 1,
+        message: "library crate root is missing `#![forbid(unsafe_code)]`; unsafe code could \
+                  smuggle in uninitialized reads or data races that break reproducibility"
+            .to_string(),
+    });
+}

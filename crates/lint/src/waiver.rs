@@ -1,0 +1,157 @@
+//! The waiver grammar and its application.
+//!
+//! A finding can only be suppressed by an inline comment of the form
+//!
+//! ```text
+//! // daris-lint: allow(D001, reason = "keys are sorted two lines above")
+//! ```
+//!
+//! The reason is mandatory: a waiver records a human judgement, and a
+//! judgement without a rationale is unreviewable. A waiver trailing code
+//! applies to its own line; a waiver alone on a line applies to the next
+//! line. Waivers that match no finding are *stale* and become `W002` errors —
+//! the waiver set can never drift from the code it annotates. Malformed
+//! waivers (unknown rule, missing reason) are `W001` errors rather than being
+//! silently ignored: a typo must not quietly re-enable a finding.
+
+use crate::lexer::LineComment;
+use crate::rules::{Finding, RuleId};
+
+/// One parsed waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    pub rule: RuleId,
+    /// Line whose findings this waiver suppresses.
+    pub target_line: u32,
+    /// Line the waiver comment itself sits on.
+    pub comment_line: u32,
+    pub reason: String,
+}
+
+const PREFIX: &str = "daris-lint:";
+
+/// Extracts waivers from a file's line comments. Malformed waivers are
+/// reported as `W001` findings immediately.
+pub fn parse_waivers(
+    rel_path: &str,
+    comments: &[LineComment],
+    findings: &mut Vec<Finding>,
+) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(PREFIX) else { continue };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => waivers.push(Waiver {
+                rule,
+                target_line: if c.own_line { c.line + 1 } else { c.line },
+                comment_line: c.line,
+                reason,
+            }),
+            Err(msg) => findings.push(Finding {
+                rule: RuleId::W001,
+                file: rel_path.to_string(),
+                line: c.line,
+                message: format!(
+                    "malformed waiver: {msg}; expected \
+                     `daris-lint: allow(D00x, reason = \"...\")`"
+                ),
+            }),
+        }
+    }
+    waivers
+}
+
+/// Parses `allow(D00x, reason = "...")`.
+fn parse_allow(s: &str) -> Result<(RuleId, String), String> {
+    let s = s.strip_prefix("allow").ok_or("missing `allow`")?.trim_start();
+    let s = s.strip_prefix('(').ok_or("missing `(`")?.trim_start();
+    let comma = s.find(',').ok_or("missing `,` after rule id")?;
+    let rule_str = s[..comma].trim();
+    let rule = RuleId::parse(rule_str)
+        .ok_or_else(|| format!("unknown rule `{rule_str}` (waivable rules are D001-D006)"))?;
+    let s = s[comma + 1..].trim_start();
+    let s = s.strip_prefix("reason").ok_or("missing `reason`")?.trim_start();
+    let s = s.strip_prefix('=').ok_or("missing `=` after `reason`")?.trim_start();
+    let s = s.strip_prefix('"').ok_or("reason must be a quoted string")?;
+    let close = s.rfind('"').ok_or("unterminated reason string")?;
+    let reason = s[..close].trim();
+    if reason.is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    let tail = s[close + 1..].trim();
+    if tail != ")" {
+        return Err("expected `)` after the reason".to_string());
+    }
+    Ok((rule, reason.to_string()))
+}
+
+/// Suppresses waived findings and reports stale waivers (`W002`).
+///
+/// Returns `(surviving_findings, used_waivers)`. A single waiver may cover
+/// several findings of its rule on the target line (e.g. a chained
+/// `.values().sum()` that fires D001 twice through two methods).
+pub fn apply_waivers(
+    rel_path: &str,
+    findings: Vec<Finding>,
+    waivers: Vec<Waiver>,
+) -> (Vec<Finding>, Vec<Waiver>) {
+    let mut used = vec![false; waivers.len()];
+    let mut surviving = Vec::new();
+    for f in findings {
+        // Waiver meta-errors are never waivable.
+        let waivable = !matches!(f.rule, RuleId::W001 | RuleId::W002);
+        let mut suppressed = false;
+        if waivable {
+            for (wi, w) in waivers.iter().enumerate() {
+                if w.rule == f.rule && w.target_line == f.line {
+                    used[wi] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            surviving.push(f);
+        }
+    }
+    let mut used_waivers = Vec::new();
+    for (w, was_used) in waivers.into_iter().zip(used) {
+        if was_used {
+            used_waivers.push(w);
+        } else {
+            surviving.push(Finding {
+                rule: RuleId::W002,
+                file: rel_path.to_string(),
+                line: w.comment_line,
+                message: format!(
+                    "stale waiver: no {} finding on line {} — delete the waiver (reason was: \
+                     \"{}\")",
+                    w.rule.as_str(),
+                    w.target_line,
+                    w.reason
+                ),
+            });
+        }
+    }
+    surviving.sort_by_key(|f| (f.line, f.rule));
+    (surviving, used_waivers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_waiver() {
+        let (rule, reason) = parse_allow(r#"allow(D002, reason = "bench wall-clock")"#).unwrap();
+        assert_eq!(rule, RuleId::D002);
+        assert_eq!(reason, "bench wall-clock");
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        assert!(parse_allow("allow(D001)").is_err());
+        assert!(parse_allow(r#"allow(D001, reason = "")"#).is_err());
+        assert!(parse_allow(r#"allow(D999, reason = "x")"#).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+// D001 fixture: unordered-container iteration. Never compiled — analyzed by
+// tests/fixtures.rs under a synthetic sim-crate path. Line numbers are pinned.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn positives(map: HashMap<u32, String>, set: HashSet<u32>) {
+    for (_k, _v) in map.iter() {}
+    for _x in &set {}
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ks: Vec<u32> = m.keys().copied().collect();
+    let _tmp: Vec<(u32, u32)> = HashMap::new().into_iter().collect();
+    m.retain(|_k, v| *v > 0);
+}
+
+fn negatives(map: HashMap<u32, String>, tree: BTreeMap<u32, String>) {
+    let _v = map.get(&3);
+    let _c = map.contains_key(&4);
+    let _n = map.len();
+    for (_k, _v) in tree.iter() {}
+    let v = vec![1, 2, 3];
+    let _s: u32 = v.iter().sum();
+}

@@ -1,0 +1,15 @@
+// D002 fixture: ambient nondeterminism. Never compiled — analyzed by
+// tests/fixtures.rs under sim-crate (positives fire) and daris-bench
+// (sanctioned: nothing fires) paths. Line numbers are pinned.
+
+fn positives() {
+    let _t = std::time::Instant::now();
+    let _w = SystemTime::now();
+    let _e = UNIX_EPOCH;
+    let _r = rand::thread_rng();
+}
+
+fn negatives(now: SimTime) {
+    let _t = now + SimDuration::from_micros(5);
+    let _not_now = Instant::elapsed;
+}

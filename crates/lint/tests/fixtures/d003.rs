@@ -1,0 +1,20 @@
+// D003 fixture: float accumulation over unordered sources. Never compiled —
+// analyzed by tests/fixtures.rs under a synthetic sim-crate path. Line
+// numbers are pinned.
+
+fn positives(rates: HashMap<u64, f64>) {
+    let _total: f64 = rates.values().sum();
+    let _m = rates.values().fold(0.0, f64::max);
+    let mut acc = 0.0;
+    for (_k, v) in &rates {
+        acc += v * 1.5;
+    }
+}
+
+fn negatives(rates: HashMap<u64, f64>, ordered: BTreeMap<u64, f64>) {
+    let _t: f64 = ordered.values().sum();
+    let mut count = 0usize;
+    for _v in rates.values() {
+        count += 1;
+    }
+}

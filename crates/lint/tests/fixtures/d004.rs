@@ -1,0 +1,13 @@
+// D004 fixture: thread spawns. Never compiled — analyzed by
+// tests/fixtures.rs under a sim-crate path (positives fire) and under the
+// sanctioned worker-pool path (nothing fires). Line numbers are pinned.
+
+fn positives() {
+    std::thread::spawn(|| {});
+    thread::scope(|_s| {});
+    let _b = thread::Builder::new();
+}
+
+fn negatives() {
+    let _n = thread::available_parallelism();
+}

@@ -1,0 +1,14 @@
+// D005 fixture: lossy float<->int casts in sim-time arithmetic. Never
+// compiled — analyzed by tests/fixtures.rs under a synthetic sim-crate path.
+// Line numbers are pinned.
+
+fn positives(period_us: f64, t: SimTime) {
+    let _ticks = (period_us * 1.5) as u64;
+    let _approx_us = (t.as_nanos() / 1000 + 1) as f64;
+}
+
+fn negatives(count: u64, t: SimTime) {
+    let _share = 1.0 / count as f64;
+    let raw_us = t.as_micros();
+    let _x = raw_us as f64;
+}

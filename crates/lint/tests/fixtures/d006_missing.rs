@@ -1,0 +1,5 @@
+//! A library crate root without `#![forbid(unsafe_code)]`. Never compiled —
+//! analyzed by tests/fixtures.rs under a synthetic `crates/*/src/lib.rs`
+//! path, where D006 fires on line 1.
+
+pub fn noop() {}

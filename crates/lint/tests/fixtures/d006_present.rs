@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! A library crate root carrying the attribute: D006 stays quiet.
+
+pub fn noop() {}

@@ -1,0 +1,11 @@
+// Waiver fixture: valid own-line + trailing waivers, a malformed waiver
+// (W001), and a stale waiver (W002). Never compiled — analyzed by
+// tests/fixtures.rs under a synthetic sim-crate path. Lines are pinned.
+fn f(m: HashMap<u32, u32>) {
+    // daris-lint: allow(D001, reason = "fixture: count() is order-insensitive")
+    let _n = m.iter().count();
+    let _k = m.keys().count(); // daris-lint: allow(D001, reason = "fixture: trailing waiver")
+    // daris-lint: allow(D001)
+    // daris-lint: allow(D001, reason = "stale: nothing hash-related on the next line")
+    let _ok = 1;
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-metrics
 //!
 //! Metrics collection and reporting for the DARIS reproduction. The paper

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-models
 //!
 //! DNN workload models for the DARIS reproduction: layer-level descriptions

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # daris-workload
 //!
 //! Periodic real-time DNN inference workloads for the DARIS reproduction:

@@ -1,0 +1,44 @@
+//! The dynamic backstop for what `daris-lint`'s static rules cannot see:
+//! run the 8-device heterogeneous bursty scenario twice **in-process** — once
+//! serial, once on the maximum worker-thread count — and assert the summary
+//! digests are equal.
+//!
+//! Static analysis (crates/lint, rules D001–D006) proves the *absence of
+//! known hazard patterns*; this test observes the actual guarantee those
+//! rules protect. Running twice in one process matters: any regressed
+//! `HashMap` state would get fresh per-instance hasher seeds on the second
+//! construction, so hash-order leakage shows up as a digest mismatch right
+//! here, without needing a cross-process harness.
+
+use daris::cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec};
+use daris::gpu::SimTime;
+use daris::models::DnnKind;
+use daris::workload::{BurstyConfig, GenSpec, TaskSet};
+
+fn run_once(threads: usize) -> u64 {
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
+    let fleet = ClusterSpec::heterogeneous_mix(8);
+    let config = ClusterConfig { threads, ..Default::default() };
+    let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(250));
+    let spec = GenSpec::Bursty(BurstyConfig { seed: 0xD16E57, ..Default::default() });
+    let outcome = ClusterDispatcher::new(&taskset, fleet, config)
+        .expect("valid 8-device configuration")
+        .run_generated(&spec, horizon);
+    assert!(outcome.summary.total.completed > 0, "scenario must do real work");
+    outcome.summary_hash()
+}
+
+#[test]
+fn hetero_bursty_digest_is_thread_count_invariant() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let serial = run_once(1);
+    let parallel = run_once(max_threads);
+    assert_eq!(
+        serial, parallel,
+        "summary digest diverged between 1 and {max_threads} worker threads — \
+         the byte-identical guarantee is broken"
+    );
+    // And a straight repeat at the same thread count: catches per-instance
+    // nondeterminism (hasher state, allocation order) rather than threading.
+    assert_eq!(serial, run_once(1), "two serial runs diverged in one process");
+}

@@ -127,6 +127,9 @@ impl Bencher {
     /// Times `routine`, recording one sample per call batch.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         let iters = self.iters_per_sample.max(1);
+        // Sanctioned wall-clock site (determinism rule D002): this vendored
+        // stub IS the timing harness.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
