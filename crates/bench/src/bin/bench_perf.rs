@@ -56,6 +56,9 @@ fn main() -> ExitCode {
         );
     }
     eprintln!("  peak RSS: {:.1} MiB", run.peak_rss_bytes as f64 / (1024.0 * 1024.0));
+    for p in &run.round_phases {
+        eprintln!("  round phase {:<9} {:>9.3} ms over {:>5} rounds", p.phase, p.wall_ms, p.count);
+    }
 
     // Cross-check the parallel twins against their serial sections, and the
     // trace-replay twins against their live-generator sections: the

@@ -23,6 +23,7 @@ use daris_cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStra
 use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
 use daris_gpu::{GpuSpec, SimTime};
 use daris_models::DnnKind;
+use daris_telemetry::{MemorySink, SinkHandle, WallClockProfiler};
 use daris_workload::{BurstyConfig, GenSpec, TaskSet};
 
 use crate::{cluster_taskset, cluster_taskset_scaled};
@@ -46,6 +47,20 @@ pub struct SectionResult {
     pub hp_dmr: f64,
 }
 
+/// Wall-clock total of one dispatcher round phase, from the
+/// [`WallClockProfiler`] the telemetry section attaches — where the
+/// synchronization-round time actually goes (device spans vs the serial
+/// boundary work: retries, migrations, telemetry merge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Stable phase name: `span`, `retry`, `migration` or `merge`.
+    pub phase: String,
+    /// Total wall-clock milliseconds spent in the phase.
+    pub wall_ms: f64,
+    /// Number of times the phase ran (= rounds the profiled run stepped).
+    pub count: u64,
+}
+
 /// One full harness run: every section at a common horizon.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfRun {
@@ -60,6 +75,9 @@ pub struct PerfRun {
     pub peak_rss_bytes: u64,
     /// The timed sections.
     pub sections: Vec<SectionResult>,
+    /// Round-phase wall-clock breakdown of the profiled telemetry section
+    /// (empty when the run had none).
+    pub round_phases: Vec<PhaseBreakdown>,
 }
 
 // Sanctioned wall-clock site (determinism rule D002): timing harness only,
@@ -173,6 +191,44 @@ fn trace_sections(horizon: SimTime, sections: &mut Vec<SectionResult>) {
     }));
 }
 
+/// The instrumented twin of `cluster_hetero_8dev_bursty`: same scenario with
+/// a [`MemorySink`] and the round-phase profiler attached. Its events/sec
+/// lands in the trajectory right next to the unobserved twin, so the gate
+/// pins the cost of *enabled* telemetry, while every other section pins the
+/// disabled-sink path staying free. Returns the profiler's per-phase
+/// wall-clock totals for the run document.
+fn telemetry_section(horizon: SimTime, sections: &mut Vec<SectionResult>) -> Vec<PhaseBreakdown> {
+    let taskset = cluster_taskset_scaled(8);
+    let spec = GenSpec::Bursty(BurstyConfig::default());
+    let profiler = WallClockProfiler::new();
+    let config = ClusterConfig {
+        strategy: PlacementStrategy::GreedyBalance,
+        sink: Some(SinkHandle::new(MemorySink::unbounded())),
+        profiler: Some(profiler.clone()),
+        ..Default::default()
+    };
+    sections.push(time_section("cluster_hetero_8dev_bursty_telemetry", || {
+        let mut dispatcher =
+            ClusterDispatcher::new(&taskset, ClusterSpec::heterogeneous_mix(8), config)
+                .expect("valid perf cluster configuration");
+        let outcome = dispatcher.run_generated(&spec, horizon);
+        (
+            dispatcher.events_processed(),
+            outcome.summary.total.completed as u64,
+            outcome.summary.high.deadline_miss_rate,
+        )
+    }));
+    profiler
+        .totals()
+        .iter()
+        .map(|(phase, total)| PhaseBreakdown {
+            phase: phase.name().to_owned(),
+            wall_ms: total.wall_ms(),
+            count: total.count,
+        })
+        .collect()
+}
+
 fn single_bursty_section(
     name: &str,
     taskset: &TaskSet,
@@ -259,12 +315,14 @@ pub fn run_perf(label: &str, horizon: SimTime, threads: usize) -> PerfRun {
     ];
     wide_sections(threads, horizon, &mut sections);
     trace_sections(horizon, &mut sections);
+    let round_phases = telemetry_section(horizon, &mut sections);
     PerfRun {
         label: label.to_owned(),
         horizon_ms: (horizon.as_millis_f64()) as u64,
         threads,
         peak_rss_bytes: peak_rss_bytes(),
         sections,
+        round_phases,
     }
 }
 
@@ -307,7 +365,22 @@ pub fn run_to_json(run: &PerfRun, indent: usize) -> String {
         out.push_str(&format!("{pad}      \"hp_dmr\": {:.6}\n", s.hp_dmr));
         out.push_str(&format!("{pad}    }}{comma}\n"));
     }
-    out.push_str(&format!("{pad}  ]\n"));
+    if run.round_phases.is_empty() {
+        out.push_str(&format!("{pad}  ]\n"));
+    } else {
+        out.push_str(&format!("{pad}  ],\n"));
+        // Uses a "phase" key (not "name") so the section parser the CI gate
+        // relies on skips this block untouched.
+        out.push_str(&format!("{pad}  \"round_phases\": [\n"));
+        for (i, p) in run.round_phases.iter().enumerate() {
+            let comma = if i + 1 < run.round_phases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{pad}    {{ \"phase\": \"{}\", \"wall_ms\": {:.3}, \"count\": {} }}{comma}\n",
+                p.phase, p.wall_ms, p.count
+            ));
+        }
+        out.push_str(&format!("{pad}  ]\n"));
+    }
     out.push_str(&format!("{pad}}}"));
     out
 }
@@ -398,6 +471,10 @@ mod tests {
                     hp_dmr: 0.015,
                 },
             ],
+            round_phases: vec![
+                PhaseBreakdown { phase: "span".into(), wall_ms: 7.5, count: 40 },
+                PhaseBreakdown { phase: "merge".into(), wall_ms: 0.5, count: 40 },
+            ],
         }
     }
 
@@ -406,6 +483,11 @@ mod tests {
         let doc = runs_to_json(&[sample_run()]);
         let parsed = parse_sections(&doc);
         assert_eq!(parsed, vec![("a".to_owned(), 100_000.0), ("b".to_owned(), 20_000.0)]);
+        // The phase breakdown is present but invisible to the section parser
+        // (gate compatibility: old baselines keep working).
+        assert!(doc.contains("\"round_phases\""));
+        assert!(doc.contains("\"phase\": \"span\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

@@ -56,6 +56,10 @@ use std::collections::BTreeMap;
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
 use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_metrics::MetricsCollector;
+use daris_telemetry::{
+    EventKind, MemorySink, RoundPhase, SinkHandle, TelemetryEvent, WallClockProfiler,
+    CLUSTER_DEVICE,
+};
 use daris_workload::{
     ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, TaskId, TaskSet, Trace,
     TraceError, TraceEvent, TracePlayer,
@@ -105,6 +109,20 @@ pub struct ClusterConfig {
     /// O(fleet). `usize::MAX` restores exhaustive retries; `0` disables
     /// retries entirely (like `cluster_admission: false`).
     pub retry_fanout: usize,
+    /// Fleet-wide telemetry sink. Each device scheduler records into a
+    /// private per-device buffer during its (possibly parallel) span; the
+    /// dispatcher merges the buffers into this sink at round boundaries in
+    /// fixed device order, stamping fleet device ids, and adds its own
+    /// cluster-layer events (round spans, retries, migrations). The merged
+    /// stream is therefore byte-identical at any thread count. `None` (the
+    /// default) keeps every device sink-free.
+    pub sink: Option<SinkHandle>,
+    /// Wall-clock self-profiling of the round phases (span / retry /
+    /// migration / merge), for performance reporting only. Explicitly
+    /// **nondeterministic** (it measures host time) and kept strictly out of
+    /// the simulated state: attaching or detaching a profiler cannot change
+    /// any outcome.
+    pub profiler: Option<WallClockProfiler>,
 }
 
 impl Default for ClusterConfig {
@@ -120,6 +138,8 @@ impl Default for ClusterConfig {
             threads: 1,
             sync_quantum: SimDuration::from_millis(1),
             retry_fanout: 4,
+            sink: None,
+            profiler: None,
         }
     }
 }
@@ -169,6 +189,11 @@ struct DeviceRuntime {
     local_of_global: BTreeMap<usize, TaskId>,
     /// The inverse map, indexed by local task id.
     global_of_local: Vec<usize>,
+    /// Private telemetry buffer the device's scheduler records into during
+    /// its span (only when [`ClusterConfig::sink`] is set). Merged into the
+    /// fleet sink at round boundaries in device order, so worker threads
+    /// never contend on — or reorder — the user's sink.
+    buffer: Option<MemorySink>,
 }
 
 /// Runs a [`TaskSet`] on a fleet of devices.
@@ -209,6 +234,12 @@ impl ClusterDispatcher {
         }
         let placement = place(taskset, &cluster, config.strategy, &config.reference_gpu);
 
+        // One private buffer per device when a fleet sink is attached; the
+        // user's sink itself is never handed to a device scheduler.
+        let buffers: Vec<Option<MemorySink>> = (0..cluster.len())
+            .map(|_| config.sink.as_ref().map(|_| MemorySink::unbounded()))
+            .collect();
+
         let build_one = |device: usize| -> Result<Option<DarisScheduler>> {
             let spec = &cluster.devices()[device];
             let plan = &placement.plans[device];
@@ -222,6 +253,9 @@ impl ClusterDispatcher {
                 .with_ablation(config.ablation);
             if config.hp_admission {
                 device_config = device_config.with_hp_admission();
+            }
+            if let Some(buffer) = &buffers[device] {
+                device_config = device_config.with_sink(SinkHandle::new(buffer.clone()));
             }
             DarisScheduler::new(&plan.taskset, device_config)
                 .map(Some)
@@ -255,8 +289,8 @@ impl ClusterDispatcher {
         }
 
         let mut devices = Vec::with_capacity(n);
-        for (result, (spec, plan)) in
-            built.into_iter().zip(cluster.devices().iter().zip(&placement.plans))
+        for ((result, buffer), (spec, plan)) in
+            built.into_iter().zip(buffers).zip(cluster.devices().iter().zip(&placement.plans))
         {
             let scheduler = result.expect("every device was built")?;
             let local_of_global = plan
@@ -270,6 +304,7 @@ impl ClusterDispatcher {
                 scheduler,
                 local_of_global,
                 global_of_local: plan.task_indices.clone(),
+                buffer,
             });
         }
         Ok(ClusterDispatcher {
@@ -432,6 +467,7 @@ impl ClusterDispatcher {
     ) -> ClusterOutcome {
         let quantum = self.config.sync_quantum.max(SimDuration::from_nanos(1));
         let mut t0 = SimTime::ZERO;
+        let mut round: u64 = 0;
         while t0 < horizon {
             // A drained fleet (no pending releases, no pending events) can
             // never create new work at a boundary — stop striding rounds
@@ -445,11 +481,53 @@ impl ClusterDispatcher {
                 break;
             }
             let t1 = t0.saturating_add(quantum).min(horizon);
-            let rejected = self.span_fleet(&mut *streams, t1);
-            self.retry_rejections(rejected, t1);
+
+            self.profile_start(RoundPhase::Span);
+            let (spans, rejected) = self.span_fleet(&mut *streams, t1);
+            self.profile_end(RoundPhase::Span);
+            for (d, from) in &spans {
+                let (from, d) = (*from, *d as u32);
+                self.emit(d, t1, || EventKind::DeviceSpan { from, to: t1 });
+            }
+            let span_count = spans.len() as u64;
+            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                round,
+                phase: RoundPhase::Span,
+                detail: span_count,
+            });
+
+            self.profile_start(RoundPhase::Retry);
+            let attempts = self.retry_rejections(rejected, t1);
+            self.profile_end(RoundPhase::Retry);
+            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                round,
+                phase: RoundPhase::Retry,
+                detail: attempts,
+            });
+
+            self.profile_start(RoundPhase::Migration);
+            let before = self.migrations;
             if self.config.migration {
                 self.rebalance(t1);
             }
+            self.profile_end(RoundPhase::Migration);
+            let moved = (self.migrations - before) as u64;
+            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                round,
+                phase: RoundPhase::Migration,
+                detail: moved,
+            });
+
+            self.profile_start(RoundPhase::Merge);
+            let merged = self.merge_device_buffers();
+            self.profile_end(RoundPhase::Merge);
+            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                round,
+                phase: RoundPhase::Merge,
+                detail: merged,
+            });
+
+            round += 1;
             t0 = t1;
         }
 
@@ -468,6 +546,9 @@ impl ClusterDispatcher {
                 DeviceOutcome { name: device.name.clone(), outcome }
             })
             .collect();
+        // `finish` above emitted each device's trailing events (everything
+        // between the last boundary and the horizon); merge them too.
+        self.merge_device_buffers();
 
         let duration = horizon.duration_since(SimTime::ZERO);
         let mut summary = ClusterSummary::aggregate(
@@ -481,23 +562,71 @@ impl ClusterDispatcher {
         ClusterOutcome { summary, devices: outcomes }
     }
 
+    // ----- telemetry --------------------------------------------------------
+
+    /// Emits one event into the fleet sink (if attached). The closure runs
+    /// only when a sink is present, so the disabled path never constructs an
+    /// event. `device` is a fleet index or [`CLUSTER_DEVICE`].
+    fn emit(&self, device: u32, at: SimTime, kind: impl FnOnce() -> EventKind) {
+        if let Some(sink) = &self.config.sink {
+            sink.record(TelemetryEvent { at, device, kind: kind() });
+        }
+    }
+
+    /// Starts profiling a round phase (if a profiler is attached).
+    fn profile_start(&self, phase: RoundPhase) {
+        if let Some(profiler) = &self.config.profiler {
+            profiler.phase_started(phase);
+        }
+    }
+
+    /// Finishes profiling a round phase (if a profiler is attached).
+    fn profile_end(&self, phase: RoundPhase) {
+        if let Some(profiler) = &self.config.profiler {
+            profiler.phase_finished(phase);
+        }
+    }
+
+    /// Merges every device's private telemetry buffer into the fleet sink in
+    /// ascending device order, rewriting the schedulers' device-local id
+    /// (always 0) to the fleet index. Returns the number of events merged.
+    /// Runs on the single-threaded boundary path only, which is what makes
+    /// the merged stream independent of worker timing.
+    fn merge_device_buffers(&mut self) -> u64 {
+        let Some(sink) = self.config.sink.clone() else { return 0 };
+        let mut merged = 0u64;
+        for (d, device) in self.devices.iter().enumerate() {
+            let Some(buffer) = &device.buffer else { continue };
+            for mut event in buffer.drain() {
+                event.device = d as u32;
+                sink.record(event);
+                merged += 1;
+            }
+        }
+        merged
+    }
+
     /// Runs one synchronization round: every device with a due event or
     /// release simulates `[its clock, until)` independently, fanned out to
-    /// scoped worker threads when configured. Returns the releases each
-    /// home device rejected, merged in ascending device order (the
-    /// deterministic join — worker timing cannot reorder it).
+    /// scoped worker threads when configured. Returns the spanned devices
+    /// with their pre-span clocks, plus the releases each home device
+    /// rejected, both merged in ascending device order (the deterministic
+    /// join — worker timing cannot reorder it).
+    #[allow(clippy::type_complexity)]
     fn span_fleet<S: ArrivalSource + Send>(
         &mut self,
         streams: &mut [S],
         until: SimTime,
-    ) -> Vec<(usize, Vec<Job>)> {
+    ) -> (Vec<(usize, SimTime)>, Vec<(usize, Vec<Job>)>) {
         let threads = self.config.threads.max(1);
+        let mut spans: Vec<(usize, SimTime)> = Vec::new();
         let mut due: Vec<(usize, &mut DarisScheduler, &mut S)> = Vec::new();
         for ((d, device), stream) in self.devices.iter_mut().enumerate().zip(streams.iter_mut()) {
             let Some(scheduler) = device.scheduler.as_mut() else { continue };
             let event_due = scheduler.next_event_time().is_some_and(|t| t < until);
             let release_due = stream.next_release().is_some_and(|r| r < until);
             if event_due || release_due {
+                spans.push((d, scheduler.now()));
                 due.push((d, scheduler, stream));
             }
         }
@@ -537,7 +666,7 @@ impl ClusterDispatcher {
         };
         out.retain(|(_, rejected)| !rejected.is_empty());
         out.sort_by_key(|(d, _)| *d);
-        out
+        (spans, out)
     }
 
     /// Retries the round's home-rejected releases cluster-wide (in device
@@ -545,8 +674,10 @@ impl ClusterDispatcher {
     /// `retry_fanout` least-loaded other devices, adopting the task as a
     /// guest on first contact; if every consulted device refuses, the
     /// rejection is charged to the home device — each job is accounted
-    /// exactly once.
-    fn retry_rejections(&mut self, rejected: Vec<(usize, Vec<Job>)>, now: SimTime) {
+    /// exactly once. Returns the number of retry offers made (for the round's
+    /// telemetry phase mark).
+    fn retry_rejections(&mut self, rejected: Vec<(usize, Vec<Job>)>, now: SimTime) -> u64 {
+        let mut attempts = 0u64;
         for (home, jobs) in rejected {
             for job in jobs {
                 let global = self.devices[home].global_of_local[job.id.task.index()];
@@ -584,8 +715,19 @@ impl ClusterDispatcher {
                             .scheduler
                             .as_mut()
                             .expect("candidate has a scheduler");
-                        if scheduler.try_release_job(localize(job, local)) {
+                        let accepted = scheduler.try_release_job(localize(job, local));
+                        if accepted {
                             scheduler.dispatch_ready();
+                        }
+                        attempts += 1;
+                        self.emit(CLUSTER_DEVICE, now, || EventKind::RetryAttempt {
+                            task: TaskId(global as u32),
+                            release_index: job.id.release_index,
+                            home: home as u32,
+                            target: device as u32,
+                            admitted: accepted,
+                        });
+                        if accepted {
                             self.cluster_admissions += 1;
                             admitted = true;
                             break;
@@ -601,6 +743,7 @@ impl ClusterDispatcher {
                 }
             }
         }
+        attempts
     }
 
     /// Fast-forwards a trailing device's clock to `to` (a no-op for devices
@@ -695,11 +838,18 @@ impl ClusterDispatcher {
                 };
                 self.catch_up(src, now);
                 self.catch_up(dst, now);
+                let release_index = withdrawn.id.release_index;
                 let dst_scheduler =
                     self.devices[dst].scheduler.as_mut().expect("dst has a scheduler");
                 if dst_scheduler.try_release_job(localize(withdrawn, dst_local)) {
                     dst_scheduler.dispatch_ready();
                     self.migrations += 1;
+                    self.emit(CLUSTER_DEVICE, now, || EventKind::Migration {
+                        task: TaskId(global as u32),
+                        release_index,
+                        from: src as u32,
+                        to: dst as u32,
+                    });
                     moved = true;
                     break;
                 }

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use daris_gpu::{sm_quota, GpuSpec};
+use daris_telemetry::SinkHandle;
 
 use crate::CoreError;
 
@@ -221,6 +222,11 @@ pub struct DarisConfig {
     /// Record per-stage execution-time vs MRET samples (Fig. 9). Default off
     /// to keep long runs lean.
     pub record_mret_trace: bool,
+    /// Telemetry sink receiving the scheduler's sim-time event stream.
+    /// `None` (the default) disables telemetry entirely: no events are
+    /// constructed and device tracing stays off, so the disabled path costs
+    /// one branch per potential emission site.
+    pub sink: Option<SinkHandle>,
 }
 
 impl DarisConfig {
@@ -235,6 +241,7 @@ impl DarisConfig {
             gpu: GpuSpec::rtx_2080_ti(),
             calibration_gpu: None,
             record_mret_trace: false,
+            sink: None,
         }
     }
 
@@ -277,6 +284,14 @@ impl DarisConfig {
     /// Enables MRET tracing (Fig. 9).
     pub fn with_mret_trace(mut self) -> Self {
         self.record_mret_trace = true;
+        self
+    }
+
+    /// Attaches a telemetry sink. Sinks observe the run; they never change
+    /// its outcome (the summary digest is byte-identical with or without
+    /// one).
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = Some(sink);
         self
     }
 

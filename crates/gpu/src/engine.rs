@@ -46,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use crate::context::Context;
 use crate::kernel::{KernelDesc, KernelPhase, WorkItem, WorkItemId};
 use crate::stream::Stream;
-use crate::trace::{Trace, TraceEvent, TraceEventKind};
+use crate::trace::{ReplanEvent, Trace, TraceEvent, TraceEventKind};
 use crate::{
     ContextId, ContextState, GpuError, GpuSpec, MemoryPool, Result, SimDuration, SimTime, StreamId,
     StreamState, XorShiftRng,
@@ -334,6 +334,12 @@ impl Gpu {
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Mutable access to the recorded trace, so a telemetry forwarder can
+    /// drain events incrementally without cloning.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// Shared device-memory pool.
@@ -634,7 +640,19 @@ impl Gpu {
             CopyDirection::HostToDevice => ItemState::CopyingIn,
             CopyDirection::DeviceToHost => ItemState::CopyingOut,
         };
+        let (tag, stream, context) = (item.tag, item.stream, item.context);
         self.active_copy = Some(ActiveCopy { item: item_id, direction, remaining });
+        if direction == CopyDirection::DeviceToHost {
+            self.trace.record(TraceEvent {
+                at: self.now,
+                kind: TraceEventKind::CopyOutStarted,
+                item: item_id,
+                tag,
+                stream,
+                context,
+                label: None,
+            });
+        }
         // Copy durations shrink by exact integer subtraction, so the
         // completion instant is fixed at start: schedule it once.
         self.copy_epoch += 1;
@@ -851,6 +869,13 @@ impl Gpu {
             }
         }
         if busy_contexts == 0 {
+            if self.trace.is_enabled() {
+                self.trace.record_replan(ReplanEvent {
+                    at: self.now,
+                    computing: 0,
+                    utilization: 0.0,
+                });
+            }
             self.clean_calendar();
             return;
         }
@@ -859,6 +884,14 @@ impl Gpu {
         let demand_ratio = total / sm_count;
         let efficiency = self.spec.interference.efficiency(busy_contexts, demand_ratio);
         let factor = scale * efficiency;
+        if self.trace.is_enabled() {
+            let allocated = (total * factor / sm_count).min(1.0);
+            self.trace.record_replan(ReplanEvent {
+                at: self.now,
+                computing: busy_contexts as u32,
+                utilization: allocated,
+            });
+        }
         // Apply the global factor and reschedule each compute-finish event
         // with the exact arithmetic the scan-based engine used.
         let now = self.now;

@@ -60,7 +60,7 @@ pub use rng::XorShiftRng;
 pub use spec::{GpuSpec, InterferenceModel};
 pub use stream::{StreamId, StreamState};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent, TraceEventKind};
+pub use trace::{ReplanEvent, Trace, TraceEvent, TraceEventKind};
 
 /// Convenience result alias used across the crate.
 pub type Result<T, E = GpuError> = std::result::Result<T, E>;

@@ -14,6 +14,8 @@ pub enum TraceEventKind {
     ItemSubmitted,
     /// The item's host-to-device copy started.
     CopyInStarted,
+    /// The item's device-to-host copy claimed the copy engine.
+    CopyOutStarted,
     /// The item's first kernel started launching.
     ExecutionStarted,
     /// A kernel of the item completed.
@@ -41,6 +43,21 @@ pub struct TraceEvent {
     pub label: Option<String>,
 }
 
+/// One water-filling replan, recorded alongside the item-level events.
+///
+/// Replans happen whenever the set of computing kernels changes; the
+/// utilization value is piecewise-constant between consecutive replans,
+/// which is exactly the shape a windowed aggregator integrates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplanEvent {
+    /// Simulation time of the replan.
+    pub at: SimTime,
+    /// Number of items computing after the replan.
+    pub computing: u32,
+    /// Fraction of physical SMs allocated after the replan (0.0–1.0).
+    pub utilization: f64,
+}
+
 /// An in-memory execution trace.
 ///
 /// Tracing is disabled by default; call [`Trace::enable`] (or
@@ -49,6 +66,7 @@ pub struct TraceEvent {
 pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
+    replans: Vec<ReplanEvent>,
 }
 
 impl Trace {
@@ -79,9 +97,32 @@ impl Trace {
         }
     }
 
+    /// Records a replan if tracing is enabled.
+    pub(crate) fn record_replan(&mut self, event: ReplanEvent) {
+        if self.enabled {
+            self.replans.push(event);
+        }
+    }
+
     /// All recorded events in chronological order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// All recorded replans in chronological order.
+    pub fn replans(&self) -> &[ReplanEvent] {
+        &self.replans
+    }
+
+    /// Removes and returns all recorded events (a telemetry forwarder's
+    /// drain; recording stays enabled).
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Removes and returns all recorded replans.
+    pub fn take_replans(&mut self) -> Vec<ReplanEvent> {
+        std::mem::take(&mut self.replans)
     }
 
     /// Number of recorded events.
@@ -94,9 +135,10 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Clears all recorded events.
+    /// Clears all recorded events and replans.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.replans.clear();
     }
 
     /// Events of a particular kind.

@@ -127,6 +127,35 @@ fn waived_rule_must_match_finding_rule() {
 }
 
 #[test]
+fn telemetry_crate_is_in_sim_scope() {
+    // `crates/telemetry` ships in-band with the simulators: the same
+    // unordered-iteration and ambient-nondeterminism hazards must be findings
+    // there too (its events feed the byte-identical trace guarantee).
+    let telemetry = "crates/telemetry/src/fixture.rs";
+    assert_eq!(run("d001.rs", telemetry), run("d001.rs", SIM));
+    assert_eq!(run("d002.rs", telemetry), run("d002.rs", SIM));
+}
+
+#[test]
+fn profiler_wall_clock_waiver_is_pinned() {
+    // The round-phase profiler carries the single sanctioned `Instant::now`
+    // outside `daris-bench`, under a reasoned D002 waiver. Pin both halves:
+    // the committed source stays finding-free, and exactly one D002 waiver is
+    // consumed — if the waiver goes stale or a second wall-clock read sneaks
+    // in, this fails before CI's workspace walk does.
+    let source = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../telemetry/src/profile.rs"),
+    )
+    .expect("profiler source readable");
+    let (findings, used) = analyze_source("crates/telemetry/src/profile.rs", &source);
+    let got: Vec<(RuleId, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![], "profiler must stay clean under its waiver");
+    let d002: Vec<_> = used.iter().filter(|w| w.rule == RuleId::D002).collect();
+    assert_eq!(d002.len(), 1, "exactly one sanctioned wall-clock site");
+    assert!(d002[0].reason.contains("wall-clock"), "waiver must explain itself: {:?}", d002[0]);
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     // The dynamic twin of the CI lint job: the committed workspace must stay
     // at zero findings, with every waiver carrying a reason.

@@ -22,4 +22,5 @@ pub use daris_core as core;
 pub use daris_gpu as gpu;
 pub use daris_metrics as metrics;
 pub use daris_models as models;
+pub use daris_telemetry as telemetry;
 pub use daris_workload as workload;

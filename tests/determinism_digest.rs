@@ -10,15 +10,49 @@
 //! construction, so hash-order leakage shows up as a digest mismatch right
 //! here, without needing a cross-process harness.
 
-use daris::cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec};
+use daris::cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStrategy};
 use daris::gpu::SimTime;
 use daris::models::DnnKind;
+use daris::telemetry::{ChromeTraceSink, MemorySink, SinkHandle};
 use daris::workload::{BurstyConfig, GenSpec, TaskSet};
 
 fn run_once(threads: usize) -> u64 {
     let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
     let fleet = ClusterSpec::heterogeneous_mix(8);
     let config = ClusterConfig { threads, ..Default::default() };
+    let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(250));
+    let spec = GenSpec::Bursty(BurstyConfig { seed: 0xD16E57, ..Default::default() });
+    let outcome = ClusterDispatcher::new(&taskset, fleet, config)
+        .expect("valid 8-device configuration")
+        .run_generated(&spec, horizon);
+    assert!(outcome.summary.total.completed > 0, "scenario must do real work");
+    outcome.summary_hash()
+}
+
+/// How the run is observed; observation must never feed back into the run.
+enum Observer {
+    None,
+    Memory,
+    Chrome,
+}
+
+/// The telemetry variant of the scenario uses balanced placement so all
+/// eight devices actually record events — the per-device buffer merge is
+/// only exercised when more than one buffer has something in it.
+fn run_observed(threads: usize, observer: Observer) -> u64 {
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
+    let fleet = ClusterSpec::heterogeneous_mix(8);
+    let sink = match observer {
+        Observer::None => None,
+        Observer::Memory => Some(SinkHandle::new(MemorySink::unbounded())),
+        Observer::Chrome => Some(SinkHandle::new(ChromeTraceSink::new())),
+    };
+    let config = ClusterConfig {
+        strategy: PlacementStrategy::GreedyBalance,
+        threads,
+        sink,
+        ..Default::default()
+    };
     let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(250));
     let spec = GenSpec::Bursty(BurstyConfig { seed: 0xD16E57, ..Default::default() });
     let outcome = ClusterDispatcher::new(&taskset, fleet, config)
@@ -41,4 +75,63 @@ fn hetero_bursty_digest_is_thread_count_invariant() {
     // And a straight repeat at the same thread count: catches per-instance
     // nondeterminism (hasher state, allocation order) rather than threading.
     assert_eq!(serial, run_once(1), "two serial runs diverged in one process");
+}
+
+#[test]
+fn telemetry_observation_never_perturbs_the_digest() {
+    // Attaching any sink — the ring buffer or the Chrome exporter — must
+    // leave the summary digest byte-identical to the unobserved run, at both
+    // ends of the thread-count range. Telemetry reads the simulation; it may
+    // never steer it.
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let baseline = run_observed(1, Observer::None);
+    assert_eq!(baseline, run_observed(1, Observer::Memory), "MemorySink perturbed the serial run");
+    assert_eq!(
+        baseline,
+        run_observed(1, Observer::Chrome),
+        "ChromeTraceSink perturbed the serial run"
+    );
+    assert_eq!(
+        baseline,
+        run_observed(max_threads, Observer::Memory),
+        "MemorySink perturbed the {max_threads}-thread run"
+    );
+    assert_eq!(
+        baseline,
+        run_observed(max_threads, Observer::Chrome),
+        "ChromeTraceSink perturbed the {max_threads}-thread run"
+    );
+}
+
+#[test]
+fn telemetry_event_stream_is_thread_count_invariant() {
+    // Stronger than the summary digest: the *entire merged event stream* must
+    // be byte-identical at any thread count — this is what makes recorded
+    // traces trustworthy artifacts. Compare the serial and max-thread Chrome
+    // exports byte for byte.
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let export = |threads: usize| {
+        let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
+        let fleet = ClusterSpec::heterogeneous_mix(8);
+        let sink = ChromeTraceSink::new();
+        let config = ClusterConfig {
+            strategy: PlacementStrategy::GreedyBalance,
+            threads,
+            sink: Some(SinkHandle::new(sink.clone())),
+            ..Default::default()
+        };
+        let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(250));
+        let spec = GenSpec::Bursty(BurstyConfig { seed: 0xD16E57, ..Default::default() });
+        ClusterDispatcher::new(&taskset, fleet, config)
+            .expect("valid 8-device configuration")
+            .run_generated(&spec, horizon);
+        sink.to_json()
+    };
+    let serial = export(1);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial,
+        export(max_threads),
+        "trace JSON diverged between 1 and {max_threads} worker threads"
+    );
 }
