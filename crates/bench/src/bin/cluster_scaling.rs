@@ -7,7 +7,7 @@
 //! Usage:
 //!
 //! ```sh
-//! cluster_scaling [--threads N] [--max-devices M]
+//! cluster_scaling [--threads N] [--max-devices M] [--racks R]
 //! ```
 //!
 //! * `--threads`     — dispatcher worker threads for the wide sweeps (`0`
@@ -15,12 +15,17 @@
 //!   results are byte-identical at any thread count — threads only change
 //!   wall-clock.
 //! * `--max-devices` — cap the wide sweeps (default 64).
+//! * `--racks`       — partition the wide-sweep fleets into this many racks
+//!   (default 1 = flat dispatch; clamped per fleet to the device count).
+//!   Rack-local boundary work is what keeps the 256–1024-device sweeps
+//!   affordable.
 //!
 //! Control the per-configuration simulated horizon with `DARIS_HORIZON_MS`
 //! (default 1500 ms).
 fn main() {
     let mut threads = 1usize;
     let mut max_devices = 64usize;
+    let mut racks = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value =
@@ -33,6 +38,11 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| panic!("--max-devices must be a number, got {raw:?}"));
             }
+            "--racks" => {
+                let raw = value("--racks");
+                racks =
+                    raw.parse().unwrap_or_else(|_| panic!("--racks must be a number, got {raw:?}"));
+            }
             other => panic!("unknown argument {other:?} (see the bin docs)"),
         }
     }
@@ -41,7 +51,7 @@ fn main() {
     for table in daris_bench::cluster_fleets() {
         println!("{table}");
     }
-    for table in daris_bench::cluster_scaling_wide(max_devices, threads) {
+    for table in daris_bench::cluster_scaling_wide(max_devices, threads, racks) {
         println!("{table}");
     }
 }

@@ -585,7 +585,10 @@ pub fn cluster_scaling() -> Table {
 
 /// The fleet sizes of the wide scaling sweeps, capped at `max_devices`.
 fn sweep_sizes(max_devices: usize) -> Vec<usize> {
-    [1usize, 2, 4, 8, 16, 32, 64].into_iter().filter(|&n| n <= max_devices.max(1)).collect()
+    [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|&n| n <= max_devices.max(1))
+        .collect()
 }
 
 /// Wide fleet scaling with per-fleet-size workloads: each fleet size `n` is
@@ -593,17 +596,20 @@ fn sweep_sizes(max_devices: usize) -> Vec<usize> {
 /// the per-device pressure stays constant and aggregate throughput must
 /// scale with the fleet. Runs homogeneous RTX 2080 Ti fleets and the
 /// heterogeneous A100/H100/Orin mix up to `max_devices`, each row timed
-/// wall-clock with `threads` dispatcher workers. The scheduling results are
+/// wall-clock with `threads` dispatcher workers and the fleet partitioned
+/// into `racks` racks (1 = flat dispatch; larger fleets want more racks so
+/// boundary work stays rack-local). The scheduling results are
 /// byte-identical at any thread count — `threads` only changes the wall
 /// column.
-pub fn cluster_scaling_wide(max_devices: usize, threads: usize) -> Vec<Table> {
+pub fn cluster_scaling_wide(max_devices: usize, threads: usize, racks: usize) -> Vec<Table> {
     let horizon = horizon();
+    let racks = racks.max(1);
     let mut tables = Vec::new();
     for (title, hetero) in [
         ("Wide scaling — homogeneous RTX 2080 Ti, workload scaled with the fleet", false),
         ("Wide scaling — heterogeneous a100/h100/orin mix, workload scaled with the fleet", true),
     ] {
-        let mut table = Table::new(format!("{title} ({threads} worker threads)"));
+        let mut table = Table::new(format!("{title} ({threads} worker threads, {racks} racks)"));
         table.set_headers([
             "devices",
             "tasks",
@@ -626,6 +632,7 @@ pub fn cluster_scaling_wide(max_devices: usize, threads: usize) -> Vec<Table> {
             let config = ClusterConfig {
                 strategy: PlacementStrategy::GreedyBalance,
                 threads,
+                racks,
                 ..Default::default()
             };
             // Sanctioned wall-clock site (determinism rule D002): timing

@@ -4,9 +4,10 @@
 //!
 //! Sections cover both simulation layers the event-calendar core accelerates:
 //! single-device `reproduce_all`-style experiments, the classic
-//! `cluster_scaling` fixed-workload sweep at 1/2/4/8 devices, and the wide
+//! `cluster_scaling` fixed-workload sweep at 1/2/4/8 devices, the wide
 //! fleet sweeps (16/64 homogeneous devices and a 64-device heterogeneous
-//! a100/h100/orin mix, workload scaled with the fleet). When a harness run is
+//! a100/h100/orin mix, workload scaled with the fleet), and the rack-scale
+//! sweeps (256 devices flat, 1024 devices in 16 racks). When a harness run is
 //! given `threads > 1`, each wide sweep is timed twice — serial and fanned
 //! out to the dispatcher's worker pool — so the artifact records the
 //! serial-vs-parallel speedup *and* the (identical) completed-job counts that
@@ -131,10 +132,22 @@ fn run_cluster_section(
     threads: usize,
     horizon: SimTime,
 ) -> SectionResult {
+    run_cluster_section_racks(name, taskset, fleet, threads, 1, horizon)
+}
+
+fn run_cluster_section_racks(
+    name: &str,
+    taskset: &TaskSet,
+    fleet: ClusterSpec,
+    threads: usize,
+    racks: usize,
+    horizon: SimTime,
+) -> SectionResult {
     time_section(name, move || {
         let config = ClusterConfig {
             strategy: PlacementStrategy::GreedyBalance,
             threads,
+            racks,
             ..Default::default()
         };
         let mut dispatcher = ClusterDispatcher::new(taskset, fleet, config)
@@ -291,6 +304,45 @@ fn wide_sections(threads: usize, horizon: SimTime, sections: &mut Vec<SectionRes
             &hetero_taskset,
             ClusterSpec::heterogeneous_mix(64),
             threads,
+            horizon,
+        ));
+    }
+    rack_sections(threads, horizon, sections);
+}
+
+/// The rack-scale sweeps: 256 heterogeneous devices under flat dispatch and
+/// 1024 devices partitioned into 16 racks (the two-level hierarchy that
+/// keeps per-round boundary work rack-local). Serial by design — the
+/// headline figure is per-core events/s at 16× the classic 64-device fleet,
+/// which must hold the 64-device line; with `threads > 1` the 1024-device
+/// sweep also runs fanned out to the persistent worker pool (`_par` twin,
+/// identical completed-job counts).
+fn rack_sections(threads: usize, horizon: SimTime, sections: &mut Vec<SectionResult>) {
+    let taskset_256 = cluster_taskset_scaled(256);
+    sections.push(run_cluster_section_racks(
+        "cluster_hetero_256dev",
+        &taskset_256,
+        ClusterSpec::heterogeneous_mix(256),
+        1,
+        1,
+        horizon,
+    ));
+    let taskset_1024 = cluster_taskset_scaled(1024);
+    sections.push(run_cluster_section_racks(
+        "cluster_hetero_1024dev_racks",
+        &taskset_1024,
+        ClusterSpec::heterogeneous_mix(1024),
+        1,
+        16,
+        horizon,
+    ));
+    if threads > 1 {
+        sections.push(run_cluster_section_racks(
+            "cluster_hetero_1024dev_racks_par",
+            &taskset_1024,
+            ClusterSpec::heterogeneous_mix(1024),
+            threads,
+            16,
             horizon,
         ));
     }

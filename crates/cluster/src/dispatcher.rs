@@ -1,6 +1,8 @@
 //! The cluster dispatcher: one DARIS scheduler per device, coordinated
 //! through fixed-length **synchronization rounds** with the per-device
-//! simulation fanned out to a worker pool in between.
+//! simulation fanned out to a persistent worker pool in between, and the
+//! fleet partitioned into [racks](crate::ClusterConfig::racks) whose
+//! boundary work stays local between coarser rebalance epochs.
 //!
 //! Three workload shapes share the same round loop, each a different
 //! [`ArrivalSource`] per device: strictly periodic task sets
@@ -23,26 +25,38 @@
 //! path bit for bit (a property test pins this down). Devices only interact
 //! at round boundaries:
 //!
-//! * **cluster-wide admission** — a job whose home device's admission test
+//! * **rack-local admission** — a job whose home device's admission test
 //!   (Eq. 11–12) rejected it mid-round is retried at the boundary on the
-//!   least-loaded [`ClusterConfig::retry_fanout`] other devices, adopting
-//!   the task as a *guest* on first contact; only when every consulted
-//!   device refuses is the rejection charged to the home device;
+//!   least-loaded [`ClusterConfig::retry_fanout`] other devices *of its
+//!   home rack*, adopting the task as a *guest* on first contact; only when
+//!   every consulted device refuses is the rejection charged to the home
+//!   device. Candidates come from an incrementally maintained
+//!   [load ordering](crate::rack) — O(fanout + log rack) per rejection
+//!   instead of an O(fleet) rescan;
 //! * **stage-boundary migration** — queued jobs that have not started their
 //!   first stage are pulled from devices with a backlog and no idle streams
-//!   onto devices that are sitting idle.
+//!   onto devices of the same rack that are sitting idle;
+//! * **cross-rack rebalance** — every
+//!   [`ClusterConfig::rebalance_epoch`] rounds (and only with more than one
+//!   rack), racks exchange load summaries and queued-unstarted jobs migrate
+//!   across rack lines, in fixed rack/device-index order.
+//!
+//! With `racks = 1` (the default) the retry and migration domains span the
+//! whole fleet and the epoch phase never runs: the hierarchy degenerates to
+//! flat dispatch exactly.
 //!
 //! # Parallel stepping, deterministic join
 //!
 //! Because a round's per-device work touches nothing but that device's own
 //! scheduler and arrival stream, the dispatcher fans the device spans out to
-//! a `std::thread::scope` worker pool ([`ClusterConfig::threads`]), dealing
-//! devices round-robin to workers. Workers return per-device results
-//! (rejected releases) that are merged back in fixed device-index order, so
+//! the persistent spin/park worker pool in [`crate::pool`]
+//! ([`ClusterConfig::threads`] workers spawned once per run, parked between
+//! rounds, device `d` always on worker `d % workers`). Per-device results
+//! (rejected releases) are collected in fixed device-index order, so
 //! completions, retries, migrations and metrics are **byte-identical at any
 //! thread count** — thread scheduling can reorder the wall-clock execution
-//! but never the simulated outcome. Scheduler construction is fanned out the
-//! same way.
+//! but never the simulated outcome. Scheduler construction is fanned out
+//! through the same module.
 //!
 //! Idle devices still cost nothing: a device with no due event and no due
 //! release is skipped and its clock trails behind, which is unobservable —
@@ -52,19 +66,22 @@
 //! jump; `finish` aligns every device at the horizon.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
 use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_metrics::MetricsCollector;
 use daris_telemetry::{
     EventKind, MemorySink, RoundPhase, SinkHandle, TelemetryEvent, WallClockProfiler,
-    CLUSTER_DEVICE,
+    CLUSTER_DEVICE, RACK_DEVICE_BASE,
 };
 use daris_workload::{
-    ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, TaskId, TaskSet, Trace,
+    ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, JobId, TaskId, TaskSet, Trace,
     TraceError, TraceEvent, TracePlayer,
 };
 
+use crate::pool::{self, DeviceCell, FleetCells};
+use crate::rack::{LoadOrder, RackDispatcher};
 use crate::{
     place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
 };
@@ -98,10 +115,29 @@ pub struct ClusterConfig {
     /// thread count.
     pub threads: usize,
     /// Length of one synchronization round: how often rejected releases are
-    /// retried cluster-wide and queued jobs may migrate. Shorter rounds react
-    /// faster but synchronize (and, when `threads > 1`, fork/join) more
-    /// often. Must not be zero (clamped to 1 ns).
+    /// retried and queued jobs may migrate. Shorter rounds react faster but
+    /// synchronize more often. Must not be zero —
+    /// [`ClusterDispatcher::new`] rejects a zero quantum with
+    /// [`ClusterError::ZeroSyncQuantum`].
     pub sync_quantum: SimDuration,
+    /// Number of racks the fleet is partitioned into (contiguous, balanced
+    /// device spans). Admission retry and stage-boundary migration stay
+    /// rack-local every round; racks exchange load summaries and queued
+    /// jobs only at [`rebalance_epoch`](Self::rebalance_epoch) boundaries.
+    /// `1` (the default) is flat dispatch over the whole fleet. Clamped to
+    /// `1..=devices`.
+    pub racks: usize,
+    /// Rounds between cross-rack rebalances: at each epoch boundary the
+    /// dispatcher exchanges per-rack load summaries and migrates
+    /// queued-unstarted jobs from backlogged devices to idle devices of
+    /// *other* racks. Only meaningful with `racks > 1`; clamped to ≥ 1.
+    pub rebalance_epoch: u64,
+    /// Select retry candidates with the flat dispatcher's per-job O(rack)
+    /// load rescan instead of the incrementally maintained ordering. Both
+    /// paths are byte-identical — a debug assertion checks every selection
+    /// and a property test pins whole runs — so this exists purely as the
+    /// executable reference the hierarchy is validated against. Leave off.
+    pub reference_retry_scan: bool,
     /// How many other devices (ascending active-load order) a rejected job is
     /// retried on before the rejection is charged. Saturated fleets reject on
     /// the least-loaded device almost iff they reject everywhere, so a small
@@ -137,6 +173,9 @@ impl Default for ClusterConfig {
             reference_gpu: GpuSpec::rtx_2080_ti(),
             threads: 1,
             sync_quantum: SimDuration::from_millis(1),
+            racks: 1,
+            rebalance_epoch: 8,
+            reference_retry_scan: false,
             retry_fanout: 4,
             sink: None,
             profiler: None,
@@ -207,6 +246,7 @@ pub struct ClusterDispatcher {
     unplaced: MetricsCollector,
     migrations: usize,
     cluster_admissions: usize,
+    cross_rack_migrations: usize,
 }
 
 fn localize(mut job: Job, local: TaskId) -> Job {
@@ -217,12 +257,14 @@ fn localize(mut job: Job, local: TaskId) -> Job {
 impl ClusterDispatcher {
     /// Places `taskset` on `cluster` and builds one scheduler per device
     /// that received tasks. With `config.threads > 1` the (independent,
-    /// profiling-heavy) per-device scheduler builds run on a scoped worker
-    /// pool; results and errors are collected in device order.
+    /// profiling-heavy) per-device scheduler builds are fanned out through
+    /// the worker-pool module; results and errors are collected in device
+    /// order.
     ///
     /// # Errors
     ///
-    /// Fails on an empty cluster or task set, an infeasible device
+    /// Fails on an empty cluster or task set, a zero
+    /// [`sync_quantum`](ClusterConfig::sync_quantum), an infeasible device
     /// partition, or a device scheduler that cannot be built (e.g. a plan
     /// whose model weights exceed device memory — the placement engine's
     /// accounting prevents this for the shipped specs). With several failing
@@ -231,6 +273,9 @@ impl ClusterDispatcher {
         cluster.validate()?;
         if taskset.is_empty() {
             return Err(ClusterError::EmptyTaskSet);
+        }
+        if config.sync_quantum.is_zero() {
+            return Err(ClusterError::ZeroSyncQuantum);
         }
         let placement = place(taskset, &cluster, config.strategy, &config.reference_gpu);
 
@@ -264,35 +309,13 @@ impl ClusterDispatcher {
 
         let n = cluster.len();
         let workers = config.threads.max(1).min(n);
-        let mut built: Vec<Option<Result<Option<DarisScheduler>>>> = Vec::new();
-        built.resize_with(n, || None);
-        if workers <= 1 {
-            for (device, slot) in built.iter_mut().enumerate() {
-                *slot = Some(build_one(device));
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let build_one = &build_one;
-                        scope.spawn(move || {
-                            (w..n).step_by(workers).map(|d| (d, build_one(d))).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (device, result) in handle.join().expect("scheduler build panicked") {
-                        built[device] = Some(result);
-                    }
-                }
-            });
-        }
+        let built = pool::build_striped(n, workers, build_one);
 
         let mut devices = Vec::with_capacity(n);
         for ((result, buffer), (spec, plan)) in
             built.into_iter().zip(buffers).zip(cluster.devices().iter().zip(&placement.plans))
         {
-            let scheduler = result.expect("every device was built")?;
+            let scheduler = result?;
             let local_of_global = plan
                 .task_indices
                 .iter()
@@ -315,6 +338,7 @@ impl ClusterDispatcher {
             unplaced: MetricsCollector::new(),
             migrations: 0,
             cluster_admissions: 0,
+            cross_rack_migrations: 0,
         })
     }
 
@@ -348,9 +372,9 @@ impl ClusterDispatcher {
         // reproduce the global release times exactly).
         let device_tasksets: Vec<TaskSet> =
             self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
-        let mut streams: Vec<ArrivalStream<'_>> =
+        let streams: Vec<ArrivalStream<'_>> =
             device_tasksets.iter().map(|ts| ArrivalStream::new(ts, horizon)).collect();
-        self.drive(&mut streams, horizon)
+        self.drive(streams, horizon)
     }
 
     /// Runs a seeded [`GenSpec`] workload (bursty, diurnal, correlated) on
@@ -377,12 +401,12 @@ impl ClusterDispatcher {
             .iter()
             .map(|p| p.task_indices.iter().map(|&g| g as u64).collect())
             .collect();
-        let mut streams: Vec<GeneratedStream<'_>> = device_tasksets
+        let streams: Vec<GeneratedStream<'_>> = device_tasksets
             .iter()
             .zip(&device_keys)
             .map(|(ts, keys)| spec.stream_keyed(ts, horizon, keys))
             .collect();
-        self.drive(&mut streams, horizon)
+        self.drive(streams, horizon)
     }
 
     /// Replays a recorded [`Trace`] (over the dispatcher's *global* task
@@ -439,13 +463,13 @@ impl ClusterDispatcher {
             .map(|events| Trace::new(horizon, trace.lookahead(), events))
             .collect::<std::result::Result<_, _>>()
             .map_err(ClusterError::Trace)?;
-        let mut players: Vec<TracePlayer<'_>> = device_tasksets
+        let players: Vec<TracePlayer<'_>> = device_tasksets
             .iter()
             .zip(&device_traces)
             .map(|(ts, tr)| TracePlayer::new(ts, tr))
             .collect::<std::result::Result<_, _>>()
             .map_err(ClusterError::Trace)?;
-        Ok(self.drive(&mut players, horizon))
+        Ok(self.drive(players, horizon))
     }
 
     /// The compacted set of tasks the placement rejected, phases preserved —
@@ -458,77 +482,140 @@ impl ClusterDispatcher {
 
     /// The synchronization-round loop shared by every workload shape: rounds
     /// of independent per-device spans over `streams` (one source per
-    /// device, device-local task ids), boundary-only cross-device work, then
-    /// final accounting.
+    /// device, device-local task ids), boundary-only cross-device work
+    /// (rack-local every round, cross-rack at epoch boundaries), then final
+    /// accounting. Schedulers and streams move into per-device cells for the
+    /// duration of the run so the persistent worker pool can span them; they
+    /// move back before `finish`.
     fn drive<S: ArrivalSource + Send>(
         &mut self,
-        streams: &mut [S],
+        streams: Vec<S>,
         horizon: SimTime,
     ) -> ClusterOutcome {
-        let quantum = self.config.sync_quantum.max(SimDuration::from_nanos(1));
-        let mut t0 = SimTime::ZERO;
-        let mut round: u64 = 0;
-        while t0 < horizon {
-            // A drained fleet (no pending releases, no pending events) can
-            // never create new work at a boundary — stop striding rounds
-            // instead of scanning the fleet horizon/quantum more times.
-            let drained = streams.iter().all(|s| s.next_release().is_none())
-                && self
-                    .devices
-                    .iter()
-                    .all(|d| d.scheduler.as_ref().map_or(true, |s| s.next_event_time().is_none()));
-            if drained {
-                break;
+        let quantum = self.config.sync_quantum;
+        let n = self.devices.len();
+        let workers = self.config.threads.max(1).min(n.max(1));
+        let mut racks = RackDispatcher::layout(n, self.config.racks);
+        let rack_of = RackDispatcher::rack_of(&racks);
+        let rebalance_epoch = self.config.rebalance_epoch.max(1);
+
+        let cells: Vec<DeviceCell<S>> = self
+            .devices
+            .iter_mut()
+            .zip(streams)
+            .map(|(device, stream)| DeviceCell {
+                scheduler: device.scheduler.take(),
+                stream,
+                due: false,
+                rejected: Vec::new(),
+            })
+            .collect();
+        let fleet = FleetCells::new(cells);
+
+        pool::drive_rounds(&fleet, workers, |run_round| {
+            let mut t0 = SimTime::ZERO;
+            let mut round: u64 = 0;
+            let mut spans: Vec<(usize, SimTime)> = Vec::with_capacity(n);
+            while t0 < horizon {
+                let t1 = t0.saturating_add(quantum).min(horizon);
+
+                self.profile_start(RoundPhase::Span);
+                // One pre-round pass marks due devices (snapshotting their
+                // pre-span clocks) and checks for a drained fleet. A drained
+                // fleet (no pending releases, no pending events) can never
+                // create new work at a boundary — stop striding rounds
+                // instead of scanning the fleet horizon/quantum more times.
+                spans.clear();
+                let mut drained = true;
+                for d in 0..n {
+                    let mut cell = fleet.cell(d);
+                    let next_release = cell.stream.next_release();
+                    let Some(scheduler) = cell.scheduler.as_ref() else {
+                        drained = drained && next_release.is_none();
+                        continue;
+                    };
+                    let next_event = scheduler.next_event_time();
+                    drained = drained && next_release.is_none() && next_event.is_none();
+                    let due =
+                        next_event.is_some_and(|t| t < t1) || next_release.is_some_and(|r| r < t1);
+                    if due {
+                        spans.push((d, scheduler.now()));
+                    }
+                    cell.due = due;
+                }
+                if drained {
+                    self.profile_end(RoundPhase::Span);
+                    break;
+                }
+                if !spans.is_empty() {
+                    run_round(t1);
+                }
+                // Collect the rejected releases in ascending device order —
+                // the deterministic join worker timing cannot reorder.
+                let mut rejected: Vec<(usize, Vec<Job>)> = Vec::new();
+                for &(d, _) in &spans {
+                    let mut cell = fleet.cell(d);
+                    if !cell.rejected.is_empty() {
+                        rejected.push((d, std::mem::take(&mut cell.rejected)));
+                    }
+                }
+                self.profile_end(RoundPhase::Span);
+                for (d, from) in &spans {
+                    let (from, d) = (*from, *d as u32);
+                    self.emit(d, t1, || EventKind::DeviceSpan { from, to: t1 });
+                }
+                let span_count = spans.len() as u64;
+                self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                    round,
+                    phase: RoundPhase::Span,
+                    detail: span_count,
+                });
+
+                self.profile_start(RoundPhase::Retry);
+                let attempts = self.retry_rejections(&fleet, &mut racks, &rack_of, rejected, t1);
+                self.profile_end(RoundPhase::Retry);
+                self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                    round,
+                    phase: RoundPhase::Retry,
+                    detail: attempts,
+                });
+
+                self.profile_start(RoundPhase::Migration);
+                let before = self.migrations + self.cross_rack_migrations;
+                if self.config.migration {
+                    let spans: Vec<_> = racks.iter().map(|rack| rack.span.clone()).collect();
+                    for span in spans {
+                        self.rebalance(&fleet, span, t1);
+                    }
+                    if racks.len() > 1 && (round + 1) % rebalance_epoch == 0 {
+                        self.cross_rack_rebalance(&fleet, &racks, &rack_of, t1, round);
+                    }
+                }
+                self.profile_end(RoundPhase::Migration);
+                let moved = (self.migrations + self.cross_rack_migrations - before) as u64;
+                self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                    round,
+                    phase: RoundPhase::Migration,
+                    detail: moved,
+                });
+
+                self.profile_start(RoundPhase::Merge);
+                let merged = self.merge_device_buffers();
+                self.profile_end(RoundPhase::Merge);
+                self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
+                    round,
+                    phase: RoundPhase::Merge,
+                    detail: merged,
+                });
+
+                round += 1;
+                t0 = t1;
             }
-            let t1 = t0.saturating_add(quantum).min(horizon);
+        });
 
-            self.profile_start(RoundPhase::Span);
-            let (spans, rejected) = self.span_fleet(&mut *streams, t1);
-            self.profile_end(RoundPhase::Span);
-            for (d, from) in &spans {
-                let (from, d) = (*from, *d as u32);
-                self.emit(d, t1, || EventKind::DeviceSpan { from, to: t1 });
-            }
-            let span_count = spans.len() as u64;
-            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
-                round,
-                phase: RoundPhase::Span,
-                detail: span_count,
-            });
-
-            self.profile_start(RoundPhase::Retry);
-            let attempts = self.retry_rejections(rejected, t1);
-            self.profile_end(RoundPhase::Retry);
-            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
-                round,
-                phase: RoundPhase::Retry,
-                detail: attempts,
-            });
-
-            self.profile_start(RoundPhase::Migration);
-            let before = self.migrations;
-            if self.config.migration {
-                self.rebalance(t1);
-            }
-            self.profile_end(RoundPhase::Migration);
-            let moved = (self.migrations - before) as u64;
-            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
-                round,
-                phase: RoundPhase::Migration,
-                detail: moved,
-            });
-
-            self.profile_start(RoundPhase::Merge);
-            let merged = self.merge_device_buffers();
-            self.profile_end(RoundPhase::Merge);
-            self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
-                round,
-                phase: RoundPhase::Merge,
-                detail: merged,
-            });
-
-            round += 1;
-            t0 = t1;
+        // Hand the schedulers back for `finish` and later accounting.
+        for (device, cell) in self.devices.iter_mut().zip(fleet.into_cells()) {
+            device.scheduler = cell.scheduler;
         }
 
         let outcomes: Vec<DeviceOutcome> = self
@@ -559,6 +646,8 @@ impl ClusterDispatcher {
         summary.migrations = self.migrations;
         summary.cluster_admissions = self.cluster_admissions;
         summary.placement_rejected_tasks = self.placement.rejected.len();
+        summary.racks = racks.len();
+        summary.cross_rack_migrations = self.cross_rack_migrations;
         ClusterOutcome { summary, devices: outcomes }
     }
 
@@ -591,134 +680,108 @@ impl ClusterDispatcher {
     /// ascending device order, rewriting the schedulers' device-local id
     /// (always 0) to the fleet index. Returns the number of events merged.
     /// Runs on the single-threaded boundary path only, which is what makes
-    /// the merged stream independent of worker timing.
+    /// the merged stream independent of worker timing. Each buffer moves out
+    /// whole (no per-event draining) and lands in the sink as one batch —
+    /// one sink lock per device per round instead of one per event.
     fn merge_device_buffers(&mut self) -> u64 {
         let Some(sink) = self.config.sink.clone() else { return 0 };
         let mut merged = 0u64;
         for (d, device) in self.devices.iter().enumerate() {
             let Some(buffer) = &device.buffer else { continue };
-            for mut event in buffer.drain() {
-                event.device = d as u32;
-                sink.record(event);
-                merged += 1;
+            let mut events = buffer.take_all();
+            if events.is_empty() {
+                continue;
             }
+            for event in &mut events {
+                event.device = d as u32;
+            }
+            merged += events.len() as u64;
+            sink.record_batch(&mut events);
         }
         merged
     }
 
-    /// Runs one synchronization round: every device with a due event or
-    /// release simulates `[its clock, until)` independently, fanned out to
-    /// scoped worker threads when configured. Returns the spanned devices
-    /// with their pre-span clocks, plus the releases each home device
-    /// rejected, both merged in ascending device order (the deterministic
-    /// join — worker timing cannot reorder it).
-    #[allow(clippy::type_complexity)]
-    fn span_fleet<S: ArrivalSource + Send>(
+    /// Retries the round's home-rejected releases rack-locally (in device
+    /// order, then release order): each job is offered to the
+    /// `retry_fanout` least-loaded other devices of its home rack, adopting
+    /// the task as a guest on first contact; if every consulted device
+    /// refuses, the rejection is charged to the home device — each job is
+    /// accounted exactly once. Candidate selection walks each rack's
+    /// incrementally maintained load ordering (rebuilt once per phase,
+    /// re-keyed per consultation) — O(fanout + log rack) per rejection
+    /// instead of an O(rack) rescan; with
+    /// [`ClusterConfig::reference_retry_scan`] the old rescan runs instead,
+    /// and a debug assertion pins the two paths against each other. Returns
+    /// the number of retry offers made (for the round's telemetry phase
+    /// mark).
+    fn retry_rejections<S: ArrivalSource>(
         &mut self,
-        streams: &mut [S],
-        until: SimTime,
-    ) -> (Vec<(usize, SimTime)>, Vec<(usize, Vec<Job>)>) {
-        let threads = self.config.threads.max(1);
-        let mut spans: Vec<(usize, SimTime)> = Vec::new();
-        let mut due: Vec<(usize, &mut DarisScheduler, &mut S)> = Vec::new();
-        for ((d, device), stream) in self.devices.iter_mut().enumerate().zip(streams.iter_mut()) {
-            let Some(scheduler) = device.scheduler.as_mut() else { continue };
-            let event_due = scheduler.next_event_time().is_some_and(|t| t < until);
-            let release_due = stream.next_release().is_some_and(|r| r < until);
-            if event_due || release_due {
-                spans.push((d, scheduler.now()));
-                due.push((d, scheduler, stream));
+        fleet: &FleetCells<S>,
+        racks: &mut [RackDispatcher],
+        rack_of: &[usize],
+        rejected: Vec<(usize, Vec<Job>)>,
+        now: SimTime,
+    ) -> u64 {
+        let mut attempts = 0u64;
+        if rejected.is_empty() {
+            return 0;
+        }
+        let retrying = self.config.cluster_admission && self.config.retry_fanout > 0;
+        let fresh_loads = |span: Range<usize>| -> Vec<(usize, f64)> {
+            span.filter_map(|d| {
+                fleet.cell(d).scheduler.as_ref().map(|s| (d, s.active_load_fraction()))
+            })
+            .collect()
+        };
+        if retrying && !self.config.reference_retry_scan {
+            // Rebuild each retrying rack's ordering once for the phase;
+            // within the phase a member's load only changes when a
+            // consultation touches it, and `update` below re-keys exactly
+            // those members.
+            let mut rebuilt = vec![false; racks.len()];
+            for (home, _) in &rejected {
+                let r = rack_of[*home];
+                if !rebuilt[r] {
+                    rebuilt[r] = true;
+                    racks[r].order.rebuild(fresh_loads(racks[r].span.clone()).into_iter());
+                }
             }
         }
-
-        let span = |d: usize, scheduler: &mut DarisScheduler, stream: &mut S| {
-            let mut rejected = Vec::new();
-            scheduler.run_span(stream, until, &mut rejected);
-            (d, rejected)
-        };
-
-        let mut out: Vec<(usize, Vec<Job>)> = if threads <= 1 || due.len() < 2 {
-            due.into_iter().map(|(d, sch, st)| span(d, sch, st)).collect()
-        } else {
-            // Deal devices round-robin to one bucket per worker; each worker
-            // only touches its own devices' state.
-            let workers = threads.min(due.len());
-            let mut buckets: Vec<Vec<(usize, &mut DarisScheduler, &mut S)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (k, item) in due.into_iter().enumerate() {
-                buckets[k % workers].push(item);
-            }
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = buckets
-                    .into_iter()
-                    .map(|bucket| {
-                        let span = &span;
-                        scope.spawn(move || {
-                            bucket
-                                .into_iter()
-                                .map(|(d, sch, st)| span(d, sch, st))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("span worker panicked")).collect()
-            })
-        };
-        out.retain(|(_, rejected)| !rejected.is_empty());
-        out.sort_by_key(|(d, _)| *d);
-        (spans, out)
-    }
-
-    /// Retries the round's home-rejected releases cluster-wide (in device
-    /// order, then release order): each job is offered to the
-    /// `retry_fanout` least-loaded other devices, adopting the task as a
-    /// guest on first contact; if every consulted device refuses, the
-    /// rejection is charged to the home device — each job is accounted
-    /// exactly once. Returns the number of retry offers made (for the round's
-    /// telemetry phase mark).
-    fn retry_rejections(&mut self, rejected: Vec<(usize, Vec<Job>)>, now: SimTime) -> u64 {
-        let mut attempts = 0u64;
         for (home, jobs) in rejected {
+            let rack = &mut racks[rack_of[home]];
             for job in jobs {
                 let global = self.devices[home].global_of_local[job.id.task.index()];
                 let mut admitted = false;
-                if self.config.cluster_admission && self.config.retry_fanout > 0 {
-                    // Loads are re-read per job (an admitted retry changes the
-                    // receiver's load), but only the `retry_fanout` least
-                    // loaded candidates are ordered: a partial selection keeps
-                    // this O(fleet + fanout log fanout) instead of a full
-                    // O(fleet log fleet) sort per rejection.
-                    let load = |d: usize| {
-                        self.devices[d]
-                            .scheduler
-                            .as_ref()
-                            .map(DarisScheduler::active_load_fraction)
-                            .unwrap_or(f64::INFINITY)
+                if retrying {
+                    let fanout = self.config.retry_fanout;
+                    let candidates = if self.config.reference_retry_scan {
+                        LoadOrder::naive_select(&fresh_loads(rack.span.clone()), home, fanout)
+                    } else {
+                        let selected = rack.order.select(home, fanout);
+                        debug_assert_eq!(
+                            selected,
+                            LoadOrder::naive_select(&fresh_loads(rack.span.clone()), home, fanout),
+                            "incremental load order diverged from a fresh rescan"
+                        );
+                        selected
                     };
-                    let mut candidates: Vec<(f64, usize)> = (0..self.devices.len())
-                        .filter(|&d| d != home && self.devices[d].scheduler.is_some())
-                        .map(|d| (load(d), d))
-                        .collect();
-                    let fanout = self.config.retry_fanout.min(candidates.len());
-                    let by_load = |a: &(f64, usize), b: &(f64, usize)| {
-                        a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1))
-                    };
-                    if fanout < candidates.len() {
-                        candidates.select_nth_unstable_by(fanout, by_load);
-                        candidates.truncate(fanout);
-                    }
-                    candidates.sort_by(by_load);
-                    for (_, device) in candidates {
-                        let Some(local) = self.local_id_on(device, global) else { continue };
-                        self.catch_up(device, now);
-                        let scheduler = self.devices[device]
-                            .scheduler
-                            .as_mut()
-                            .expect("candidate has a scheduler");
-                        let accepted = scheduler.try_release_job(localize(job, local));
-                        if accepted {
-                            scheduler.dispatch_ready();
-                        }
+                    for device in candidates {
+                        let Some(local) = self.local_id_on(fleet, device, global) else { continue };
+                        self.catch_up(fleet, device, now);
+                        let (accepted, load) = {
+                            let mut cell = fleet.cell(device);
+                            let scheduler =
+                                cell.scheduler.as_mut().expect("candidate has a scheduler");
+                            let accepted = scheduler.try_release_job(localize(job, local));
+                            if accepted {
+                                scheduler.dispatch_ready();
+                            }
+                            (accepted, scheduler.active_load_fraction())
+                        };
+                        // The catch-up and (on acceptance) the activation are
+                        // the only in-phase load changes; re-key the touched
+                        // member so the next selection sees them.
+                        rack.order.update(device, load);
                         attempts += 1;
                         self.emit(CLUSTER_DEVICE, now, || EventKind::RetryAttempt {
                             task: TaskId(global as u32),
@@ -735,7 +798,8 @@ impl ClusterDispatcher {
                     }
                 }
                 if !admitted {
-                    self.devices[home]
+                    fleet
+                        .cell(home)
                         .scheduler
                         .as_mut()
                         .expect("home device has a scheduler")
@@ -753,8 +817,9 @@ impl ClusterDispatcher {
     /// sitting exactly on the boundary is consumed here — dispatching right
     /// after keeps its freed stream from stranding queued stages (this is
     /// exactly what the device's own span would have done at `to`).
-    fn catch_up(&mut self, device: usize, to: SimTime) {
-        if let Some(scheduler) = self.devices[device].scheduler.as_mut() {
+    fn catch_up<S: ArrivalSource>(&self, fleet: &FleetCells<S>, device: usize, to: SimTime) {
+        let mut cell = fleet.cell(device);
+        if let Some(scheduler) = cell.scheduler.as_mut() {
             if scheduler.now() < to {
                 scheduler.advance_to(to);
                 scheduler.dispatch_ready();
@@ -765,13 +830,17 @@ impl ClusterDispatcher {
     /// The local id of global task `global` on `device`, adopting the task
     /// as a guest on first contact. `None` if adoption fails (model weights
     /// do not fit in the device's remaining memory).
-    fn local_id_on(&mut self, device: usize, global: usize) -> Option<TaskId> {
+    fn local_id_on<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<S>,
+        device: usize,
+        global: usize,
+    ) -> Option<TaskId> {
         if let Some(&local) = self.devices[device].local_of_global.get(&global) {
             return Some(local);
         }
         let spec = self.taskset.tasks()[global].clone();
-        let scheduler = self.devices[device].scheduler.as_mut()?;
-        let local = scheduler.adopt_task(&spec).ok()?;
+        let local = fleet.cell(device).scheduler.as_mut()?.adopt_task(&spec).ok()?;
         debug_assert_eq!(local.index(), self.devices[device].global_of_local.len());
         self.devices[device].local_of_global.insert(global, local);
         self.devices[device].global_of_local.push(global);
@@ -783,87 +852,203 @@ impl ClusterDispatcher {
         self.devices[device].global_of_local[local.index()]
     }
 
-    /// Stage-boundary migration: while some device has a backlog it cannot
-    /// serve (no idle stream) and another device sits idle, move queued
-    /// not-yet-started jobs over (least urgent first, admission-tested on
-    /// the receiver). Devices a migration lands on are caught up to `now`
-    /// first.
-    fn rebalance(&mut self, now: SimTime) {
-        for _ in 0..MAX_MIGRATIONS_PER_STEP {
-            let backlog = |d: &DeviceRuntime| {
-                d.scheduler.as_ref().map(DarisScheduler::queue_backlog).unwrap_or(0)
-            };
-            let idle = |d: &DeviceRuntime| {
-                d.scheduler.as_ref().map(DarisScheduler::idle_stream_count).unwrap_or(0)
-            };
-            let Some(src) = (0..self.devices.len())
-                .filter(|&d| backlog(&self.devices[d]) > 0 && idle(&self.devices[d]) == 0)
-                .max_by_key(|&d| (backlog(&self.devices[d]), usize::MAX - d))
-            else {
-                break;
-            };
-            let Some(dst) = (0..self.devices.len())
-                .filter(|&d| {
-                    d != src && backlog(&self.devices[d]) == 0 && idle(&self.devices[d]) > 0
-                })
-                .max_by_key(|&d| (idle(&self.devices[d]), usize::MAX - d))
-            else {
-                break;
-            };
-
-            let candidates = self.devices[src]
+    /// `(device, backlog, idle streams)` for every device of `span`, the
+    /// shared input of the migration source/target selections.
+    fn pressure_stats<S: ArrivalSource>(
+        fleet: &FleetCells<S>,
+        span: Range<usize>,
+    ) -> Vec<(usize, usize, usize)> {
+        span.map(|d| {
+            let cell = fleet.cell(d);
+            let (backlog, idle) = cell
                 .scheduler
                 .as_ref()
-                .map(DarisScheduler::migratable_jobs)
-                .unwrap_or_default();
-            let mut moved = false;
-            for local_job in candidates {
-                let global = self.global_of(src, local_job.task);
-                let Some(dst_local) = self.local_id_on(dst, global) else { continue };
-                let priority = self.taskset.tasks()[global].priority;
-                let dst_admits = self.devices[dst]
-                    .scheduler
-                    .as_ref()
-                    .map(|s| s.would_admit(dst_local, priority))
-                    .unwrap_or(false);
-                if !dst_admits {
-                    continue;
-                }
-                let Some(withdrawn) = self.devices[src]
-                    .scheduler
-                    .as_mut()
-                    .and_then(|s| s.withdraw_queued_job(local_job))
-                else {
-                    continue;
-                };
-                self.catch_up(src, now);
-                self.catch_up(dst, now);
-                let release_index = withdrawn.id.release_index;
-                let dst_scheduler =
-                    self.devices[dst].scheduler.as_mut().expect("dst has a scheduler");
+                .map(|s| (s.queue_backlog(), s.idle_stream_count()))
+                .unwrap_or((0, 0));
+            (d, backlog, idle)
+        })
+        .collect()
+    }
+
+    /// Offers `src`'s migratable queued jobs to `dst` (least urgent first,
+    /// admission-tested on the receiver) and moves the first one `dst`
+    /// takes; both devices are caught up to `now` around the hand-over.
+    /// Returns the moved job's `(global task index, release index)`, or
+    /// `None` if `dst` took nothing.
+    fn transfer_queued_job<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<S>,
+        src: usize,
+        dst: usize,
+        now: SimTime,
+    ) -> Option<(usize, u64)> {
+        let candidates: Vec<JobId> = fleet
+            .cell(src)
+            .scheduler
+            .as_ref()
+            .map(DarisScheduler::migratable_jobs)
+            .unwrap_or_default();
+        for local_job in candidates {
+            let global = self.global_of(src, local_job.task);
+            let Some(dst_local) = self.local_id_on(fleet, dst, global) else { continue };
+            let priority = self.taskset.tasks()[global].priority;
+            let dst_admits = fleet
+                .cell(dst)
+                .scheduler
+                .as_ref()
+                .map(|s| s.would_admit(dst_local, priority))
+                .unwrap_or(false);
+            if !dst_admits {
+                continue;
+            }
+            let Some(withdrawn) =
+                fleet.cell(src).scheduler.as_mut().and_then(|s| s.withdraw_queued_job(local_job))
+            else {
+                continue;
+            };
+            self.catch_up(fleet, src, now);
+            self.catch_up(fleet, dst, now);
+            let release_index = withdrawn.id.release_index;
+            {
+                let mut cell = fleet.cell(dst);
+                let dst_scheduler = cell.scheduler.as_mut().expect("dst has a scheduler");
                 if dst_scheduler.try_release_job(localize(withdrawn, dst_local)) {
                     dst_scheduler.dispatch_ready();
-                    self.migrations += 1;
-                    self.emit(CLUSTER_DEVICE, now, || EventKind::Migration {
-                        task: TaskId(global as u32),
-                        release_index,
-                        from: src as u32,
-                        to: dst as u32,
-                    });
-                    moved = true;
-                    break;
-                }
-                // The receiver changed its mind (should not happen — the
-                // admission test was just consulted); restore the job home.
-                let src_scheduler =
-                    self.devices[src].scheduler.as_mut().expect("src has a scheduler");
-                if !src_scheduler.try_release_job(withdrawn) {
-                    src_scheduler.reject_job(&withdrawn);
+                    return Some((global, release_index));
                 }
             }
-            if !moved {
+            // The receiver changed its mind (should not happen — the
+            // admission test was just consulted); restore the job home.
+            let mut cell = fleet.cell(src);
+            let src_scheduler = cell.scheduler.as_mut().expect("src has a scheduler");
+            if !src_scheduler.try_release_job(withdrawn) {
+                src_scheduler.reject_job(&withdrawn);
+            }
+        }
+        None
+    }
+
+    /// Stage-boundary migration within one rack's device span: while some
+    /// device has a backlog it cannot serve (no idle stream) and another
+    /// device of the same rack sits idle, move queued not-yet-started jobs
+    /// over (least urgent first, admission-tested on the receiver). Devices
+    /// a migration lands on are caught up to `now` first.
+    fn rebalance<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<S>,
+        span: Range<usize>,
+        now: SimTime,
+    ) {
+        for _ in 0..MAX_MIGRATIONS_PER_STEP {
+            let stats = Self::pressure_stats(fleet, span.clone());
+            let Some(src) = stats
+                .iter()
+                .filter(|&&(_, backlog, idle)| backlog > 0 && idle == 0)
+                .max_by_key(|&&(d, backlog, _)| (backlog, usize::MAX - d))
+                .map(|&(d, ..)| d)
+            else {
                 break;
-            }
+            };
+            let Some(dst) = stats
+                .iter()
+                .filter(|&&(d, backlog, idle)| d != src && backlog == 0 && idle > 0)
+                .max_by_key(|&&(d, _, idle)| (idle, usize::MAX - d))
+                .map(|&(d, ..)| d)
+            else {
+                break;
+            };
+            let Some((global, release_index)) = self.transfer_queued_job(fleet, src, dst, now)
+            else {
+                break;
+            };
+            self.migrations += 1;
+            self.emit(CLUSTER_DEVICE, now, || EventKind::Migration {
+                task: TaskId(global as u32),
+                release_index,
+                from: src as u32,
+                to: dst as u32,
+            });
+        }
+    }
+
+    /// The rebalance epoch: racks exchange `(backlog, idle streams)` load
+    /// summaries — emitted on the per-rack telemetry tracks in ascending
+    /// rack order — and queued not-yet-started jobs migrate from backlogged
+    /// devices onto idle devices of *other* racks, again in fixed order, so
+    /// the epoch phase is as deterministic as the per-round ones. Runs only
+    /// with more than one rack.
+    fn cross_rack_rebalance<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<S>,
+        racks: &[RackDispatcher],
+        rack_of: &[usize],
+        now: SimTime,
+        round: u64,
+    ) {
+        let summaries: Vec<(u64, u64)> = racks
+            .iter()
+            .map(|rack| {
+                let mut backlog = 0u64;
+                let mut idle = 0u64;
+                for d in rack.span.clone() {
+                    let cell = fleet.cell(d);
+                    if let Some(scheduler) = cell.scheduler.as_ref() {
+                        backlog += scheduler.queue_backlog() as u64;
+                        idle += scheduler.idle_stream_count() as u64;
+                    }
+                }
+                (backlog, idle)
+            })
+            .collect();
+        for (r, &(backlog, idle_streams)) in summaries.iter().enumerate() {
+            self.emit(RACK_DEVICE_BASE + r as u32, now, || EventKind::RackLoad {
+                rack: r as u32,
+                round,
+                backlog,
+                idle_streams,
+            });
+        }
+        // Cheap gate from the exchanged summaries: no backlogged rack, or no
+        // idle capacity anywhere, means nothing can move this epoch.
+        let any_backlog = summaries.iter().any(|&(backlog, _)| backlog > 0);
+        let any_idle = summaries.iter().any(|&(_, idle)| idle > 0);
+        if !any_backlog || !any_idle {
+            return;
+        }
+        for _ in 0..MAX_MIGRATIONS_PER_STEP {
+            let stats = Self::pressure_stats(fleet, 0..fleet.len());
+            let Some(src) = stats
+                .iter()
+                .filter(|&&(_, backlog, idle)| backlog > 0 && idle == 0)
+                .max_by_key(|&&(d, backlog, _)| (backlog, usize::MAX - d))
+                .map(|&(d, ..)| d)
+            else {
+                break;
+            };
+            let Some(dst) = stats
+                .iter()
+                .filter(|&&(d, backlog, idle)| {
+                    rack_of[d] != rack_of[src] && backlog == 0 && idle > 0
+                })
+                .max_by_key(|&&(d, _, idle)| (idle, usize::MAX - d))
+                .map(|&(d, ..)| d)
+            else {
+                break;
+            };
+            let Some((global, release_index)) = self.transfer_queued_job(fleet, src, dst, now)
+            else {
+                break;
+            };
+            self.cross_rack_migrations += 1;
+            let (from_rack, to_rack) = (rack_of[src] as u32, rack_of[dst] as u32);
+            self.emit(CLUSTER_DEVICE, now, || EventKind::RackMigration {
+                task: TaskId(global as u32),
+                release_index,
+                from: src as u32,
+                to: dst as u32,
+                from_rack,
+                to_rack,
+            });
         }
     }
 }

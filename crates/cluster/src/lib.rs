@@ -67,6 +67,8 @@
 mod dispatcher;
 mod error;
 mod placement;
+mod pool;
+mod rack;
 mod spec;
 mod summary;
 

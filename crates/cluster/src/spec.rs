@@ -129,6 +129,15 @@ impl ClusterSpec {
         self.devices.iter().map(|d| d.gpu.sm_count).sum()
     }
 
+    /// The contiguous device spans a `racks`-way hierarchical dispatch
+    /// partitions this fleet into — balanced to within one device, `racks`
+    /// clamped to `1..=len()`. This is the same layout
+    /// `ClusterDispatcher` uses for `ClusterConfig::racks`, exposed so
+    /// benches and reports can label devices by rack.
+    pub fn rack_spans(&self, racks: usize) -> Vec<std::ops::Range<usize>> {
+        crate::rack::rack_spans(self.len(), racks)
+    }
+
     /// Validates every device's partition against its hardware.
     ///
     /// # Errors

@@ -22,12 +22,17 @@ pub struct ClusterSummary {
     pub total: PrioritySummary,
     /// Mean GPU utilization over devices that reported one.
     pub mean_gpu_utilization: Option<f64>,
-    /// Queued jobs migrated across devices at stage boundaries.
+    /// Queued jobs migrated across devices at stage boundaries (within a
+    /// rack; cross-rack epoch moves are counted separately).
     pub migrations: usize,
     /// Jobs admitted on a non-home device after their home rejected them.
     pub cluster_admissions: usize,
     /// Tasks the placement engine rejected outright.
     pub placement_rejected_tasks: usize,
+    /// Number of racks the fleet was partitioned into (1 = flat dispatch).
+    pub racks: usize,
+    /// Queued jobs migrated across rack lines at rebalance epochs.
+    pub cross_rack_migrations: usize,
 }
 
 impl ClusterSummary {
@@ -70,6 +75,8 @@ impl ClusterSummary {
             migrations: 0,
             cluster_admissions: 0,
             placement_rejected_tasks: 0,
+            racks: 1,
+            cross_rack_migrations: 0,
         }
     }
 }

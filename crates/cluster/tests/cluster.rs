@@ -152,6 +152,124 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The incremental per-rack load ordering selects byte-identically to
+    /// the flat dispatcher's per-job load rescan
+    /// (`reference_retry_scan: true`, the pre-hierarchy selection path):
+    /// whole runs — every per-device summary and every aggregate tally —
+    /// must match across random task sets, fleets and rack counts. With
+    /// `racks = 1` this pins the hierarchical dispatcher against the flat
+    /// one exactly.
+    #[test]
+    fn incremental_retry_ordering_matches_the_reference_scan(
+        seed in 0u64..1_000_000,
+        n_tasks in 4usize..40,
+        n_devices in 2usize..5,
+        racks in 1usize..4,
+    ) {
+        let taskset = random_taskset(seed, n_tasks);
+        let fleet = random_fleet(seed, n_devices);
+        let horizon = SimTime::from_millis(120);
+        let run = |reference_retry_scan: bool| {
+            let config = ClusterConfig { racks, reference_retry_scan, ..Default::default() };
+            let mut dispatcher =
+                ClusterDispatcher::new(&taskset, fleet.clone(), config).expect("dispatcher builds");
+            dispatcher.run_until(horizon)
+        };
+        let incremental = run(false);
+        let rescan = run(true);
+        prop_assert_eq!(&incremental.summary, &rescan.summary);
+        for (a, b) in incremental.devices.iter().zip(&rescan.devices) {
+            prop_assert_eq!(&a.outcome.summary, &b.outcome.summary,
+                "device {} diverged between the incremental ordering and the rescan", a.name);
+        }
+    }
+
+    /// With every cross-device interaction disabled (no cluster admission,
+    /// no migration), devices never observe each other — so the rack
+    /// partitioning must be entirely invisible: any rack count produces the
+    /// same per-device summaries as flat dispatch.
+    #[test]
+    fn rack_partitioning_is_invisible_without_interaction(
+        seed in 0u64..1_000_000,
+        n_tasks in 4usize..40,
+        n_devices in 2usize..5,
+        racks in 2usize..5,
+    ) {
+        let taskset = random_taskset(seed, n_tasks);
+        let fleet = random_fleet(seed, n_devices);
+        let horizon = SimTime::from_millis(120);
+        let run = |racks: usize| {
+            let config = ClusterConfig {
+                cluster_admission: false,
+                migration: false,
+                racks,
+                ..Default::default()
+            };
+            let mut dispatcher =
+                ClusterDispatcher::new(&taskset, fleet.clone(), config).expect("dispatcher builds");
+            dispatcher.run_until(horizon)
+        };
+        let flat = run(1);
+        let racked = run(racks);
+        prop_assert_eq!(&flat.summary.total, &racked.summary.total);
+        prop_assert_eq!(&flat.summary.high, &racked.summary.high);
+        prop_assert_eq!(&flat.summary.low, &racked.summary.low);
+        for (a, b) in flat.devices.iter().zip(&racked.devices) {
+            prop_assert_eq!(&a.outcome.summary, &b.outcome.summary,
+                "device {} diverged between racks=1 and racks={}", a.name, racks);
+        }
+    }
+}
+
+#[test]
+fn cross_rack_rebalance_moves_work_over_rack_lines() {
+    // One-starved-device racks: with each rack a single device, rack-local
+    // migration has nowhere to move work, so only the cross-rack epoch phase
+    // can relieve the starved rack — and it must.
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let horizon = SimTime::from_millis(300);
+    let fleet = ClusterSpec::new()
+        .with_device(DeviceSpec::new("tiny", GpuSpec::rtx_2080_ti(), GpuPartition::str_streams(1)))
+        .with_device(DeviceSpec::new(
+            "big",
+            GpuSpec::rtx_2080_ti().with_seed(0x5eed_da14),
+            GpuPartition::mps(6, 6.0),
+        ));
+    let config = ClusterConfig {
+        strategy: PlacementStrategy::FirstFitDecreasing,
+        cluster_admission: false,
+        racks: 2,
+        rebalance_epoch: 1,
+        ..Default::default()
+    };
+    let mut dispatcher =
+        ClusterDispatcher::new(&taskset, fleet, config).expect("dispatcher builds");
+    let outcome = dispatcher.run_until(horizon);
+    assert_eq!(outcome.summary.racks, 2);
+    assert_eq!(outcome.summary.migrations, 0, "one-device racks cannot migrate locally");
+    assert!(
+        outcome.summary.cross_rack_migrations > 0,
+        "the epoch phase must move work over the rack line: {:?}",
+        outcome.summary
+    );
+}
+
+#[test]
+fn zero_sync_quantum_is_rejected_loudly() {
+    use daris_cluster::ClusterError;
+    use daris_gpu::SimDuration;
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let fleet = ClusterSpec::homogeneous(2, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+    let config = ClusterConfig { sync_quantum: SimDuration::ZERO, ..Default::default() };
+    assert_eq!(
+        ClusterDispatcher::new(&taskset, fleet, config).err(),
+        Some(ClusterError::ZeroSyncQuantum)
+    );
+}
+
 #[test]
 fn repeated_hetero_runs_hash_identically_across_thread_counts() {
     // The satellite determinism check: the same 8-device heterogeneous

@@ -101,7 +101,7 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: RuleId::D004,
         title: "thread spawn outside the sanctioned worker-pool module \
-                (crates/cluster/src/dispatcher.rs)",
+                (crates/cluster/src/pool.rs)",
         scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry (src + tests)",
     },
     RuleInfo {
@@ -119,9 +119,12 @@ pub const RULES: &[RuleInfo] = &[
 /// Crates whose simulation results feed the byte-identical guarantee.
 const SIM_CRATES: &[&str] = &["gpu", "core", "cluster", "workload", "metrics", "telemetry"];
 
-/// The one module allowed to spawn threads: the dispatcher's deterministic
-/// worker pool (fixed device->worker assignment, device-index-ordered merge).
-const SANCTIONED_POOL: &str = "crates/cluster/src/dispatcher.rs";
+/// The modules allowed to spawn threads: the cluster crate's deterministic
+/// worker pool (fixed device->worker assignment, spin/park round protocol,
+/// device-index-ordered merge). Everything thread-shaped — the persistent
+/// round pool and the one-shot construction fan-out — lives behind this
+/// module's API; the dispatcher itself no longer spawns.
+const SANCTIONED_POOLS: &[&str] = &["crates/cluster/src/pool.rs"];
 
 /// Unordered std collections (and their hasher state) covered by D001.
 const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState"];
@@ -176,7 +179,7 @@ pub struct FileScope {
     pub is_sim: bool,
     /// daris-bench: wall-clock timing is its purpose.
     pub wall_clock_sanctioned: bool,
-    /// The dispatcher worker-pool module (D004-sanctioned).
+    /// A sanctioned worker-pool module (D004).
     pub pool_sanctioned: bool,
     /// File must carry `#![forbid(unsafe_code)]` (D006).
     pub requires_forbid_unsafe: bool,
@@ -197,7 +200,7 @@ impl FileScope {
         FileScope {
             is_sim,
             wall_clock_sanctioned: crate_name == "bench",
-            pool_sanctioned: rel_path == SANCTIONED_POOL,
+            pool_sanctioned: SANCTIONED_POOLS.contains(&rel_path),
             requires_forbid_unsafe,
             crate_name,
         }
@@ -609,8 +612,9 @@ fn check_d004(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                         line: tokens[i].line,
                         message: format!(
                             "`thread::{m}` outside the sanctioned worker pool \
-                             ({SANCTIONED_POOL}); ad-hoc threading breaks the fixed \
-                             device->worker merge order"
+                             ({}); ad-hoc threading breaks the fixed \
+                             device->worker merge order",
+                            SANCTIONED_POOLS.join(", ")
                         ),
                     });
                 }

@@ -82,7 +82,13 @@ fn d004_thread_spawns() {
 
 #[test]
 fn d004_worker_pool_is_sanctioned() {
-    assert_eq!(run("d004.rs", "crates/cluster/src/dispatcher.rs"), vec![]);
+    assert_eq!(run("d004.rs", "crates/cluster/src/pool.rs"), vec![]);
+    // The dispatcher itself is no longer a sanctioned spawn site: all
+    // threading moved behind the pool module's API.
+    assert_eq!(
+        run("d004.rs", "crates/cluster/src/dispatcher.rs"),
+        vec![(RuleId::D004, 6), (RuleId::D004, 7), (RuleId::D004, 8)]
+    );
 }
 
 #[test]

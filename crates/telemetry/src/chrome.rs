@@ -18,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use daris_gpu::SimTime;
 
-use crate::event::{EventKind, TelemetryEvent, CLUSTER_DEVICE};
+use crate::event::{EventKind, TelemetryEvent, CLUSTER_DEVICE, RACK_DEVICE_BASE};
 use crate::TelemetrySink;
 
 /// Version tag written into the top-level `schemaVersion` field. Bump when
@@ -72,6 +72,10 @@ impl TelemetrySink for ChromeTraceSink {
     fn record(&mut self, event: &TelemetryEvent) {
         self.state.lock().expect("chrome sink lock poisoned").push(event.clone());
     }
+
+    fn record_batch(&mut self, events: &mut Vec<TelemetryEvent>) {
+        self.state.lock().expect("chrome sink lock poisoned").append(events);
+    }
 }
 
 /// Timestamp field: microseconds with nanosecond precision, formatted from
@@ -108,6 +112,12 @@ fn escape(s: &str) -> String {
 
 fn pid_of(device: u32) -> u64 {
     u64::from(device)
+}
+
+/// Whether a pid falls in the synthetic rack-track range (see
+/// [`RACK_DEVICE_BASE`]).
+fn is_rack_pid(pid: u64) -> bool {
+    pid >= u64::from(RACK_DEVICE_BASE) && pid != pid_of(CLUSTER_DEVICE)
 }
 
 struct Exporter {
@@ -315,6 +325,26 @@ impl Exporter {
                     "",
                 );
             }
+            EventKind::RackLoad { rack, round, backlog, idle_streams } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_PHASES,
+                    &format!("rack{rack} load r{round}"),
+                    &format!("\"backlog\":{backlog},\"idle_streams\":{idle_streams}"),
+                );
+            }
+            EventKind::RackMigration { task, release_index, from, to, from_rack, to_rack } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_PLACEMENT,
+                    &format!(
+                        "rack-migrate {task}#{release_index} d{from}->d{to} (r{from_rack}->r{to_rack})"
+                    ),
+                    "",
+                );
+            }
         }
     }
 }
@@ -324,6 +354,12 @@ fn thread_name(pid: u64, tid: u32) -> String {
         return match tid {
             TID_PHASES => "round-phases".to_string(),
             TID_PLACEMENT => "placement".to_string(),
+            other => format!("track{other}"),
+        };
+    }
+    if is_rack_pid(pid) {
+        return match tid {
+            TID_PHASES => "load".to_string(),
             other => format!("track{other}"),
         };
     }
@@ -348,6 +384,8 @@ fn export(events: &[TelemetryEvent]) -> String {
     for pid in &pids {
         let name = if *pid == pid_of(CLUSTER_DEVICE) {
             "cluster".to_string()
+        } else if is_rack_pid(*pid) {
+            format!("rack{}", pid - u64::from(RACK_DEVICE_BASE))
         } else {
             format!("device{pid}")
         };

@@ -58,7 +58,9 @@ mod sink;
 mod windowed;
 
 pub use chrome::{ChromeTraceSink, CHROME_SCHEMA_VERSION};
-pub use event::{AdmissionTest, EventKind, RoundPhase, TelemetryEvent, CLUSTER_DEVICE};
+pub use event::{
+    AdmissionTest, EventKind, RoundPhase, TelemetryEvent, CLUSTER_DEVICE, RACK_DEVICE_BASE,
+};
 pub use memory::MemorySink;
 pub use profile::{PhaseTotal, WallClockProfiler};
 pub use sink::{SinkHandle, TelemetrySink};

@@ -74,6 +74,15 @@ impl MemorySink {
     pub fn drain(&self) -> Vec<TelemetryEvent> {
         self.lock().events.drain(..).collect()
     }
+
+    /// Moves the whole buffer out in record order, leaving it empty. Same
+    /// observable result as [`drain`](MemorySink::drain), but swaps the
+    /// backing storage out wholesale instead of moving events one by one —
+    /// the cluster dispatcher's round merge uses this so per-round cost is a
+    /// pointer swap, not O(events).
+    pub fn take_all(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut self.lock().events).into()
+    }
 }
 
 impl Default for MemorySink {
@@ -90,6 +99,22 @@ impl TelemetrySink for MemorySink {
             state.events.pop_front();
         }
         state.events.push_back(event.clone());
+    }
+
+    fn record_batch(&mut self, events: &mut Vec<TelemetryEvent>) {
+        let mut state = self.lock();
+        state.recorded += events.len() as u64;
+        if state.capacity != usize::MAX {
+            // Pre-trim so the ring never transiently exceeds its bound.
+            let incoming = events.len().min(state.capacity);
+            events.drain(..events.len() - incoming);
+            let keep = state.capacity - incoming;
+            while state.events.len() > keep {
+                state.events.pop_front();
+            }
+        }
+        state.events.reserve(events.len());
+        state.events.extend(events.drain(..));
     }
 }
 
@@ -128,5 +153,36 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert!(sink.is_empty());
         assert_eq!(sink.recorded(), 1);
+    }
+
+    #[test]
+    fn batch_record_matches_per_event_record() {
+        // Same events through record() and record_batch() must leave the two
+        // sinks indistinguishable — including ring-bound behavior.
+        for capacity in [2usize, 3, usize::MAX] {
+            let mut one = MemorySink::with_capacity(capacity);
+            let mut batched = MemorySink::with_capacity(capacity);
+            let events: Vec<TelemetryEvent> = (1..=5).map(event).collect();
+            for e in &events {
+                one.record(e);
+            }
+            let mut batch = events.clone();
+            batched.record_batch(&mut batch);
+            assert!(batch.is_empty());
+            assert_eq!(one.events(), batched.events(), "capacity {capacity}");
+            assert_eq!(one.recorded(), batched.recorded(), "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn take_all_is_drain_by_buffer_move() {
+        let mut sink = MemorySink::unbounded();
+        sink.record(&event(1));
+        sink.record(&event(2));
+        let taken = sink.take_all();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].at, SimTime::from_micros(1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.recorded(), 2);
     }
 }

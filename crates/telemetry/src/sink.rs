@@ -22,6 +22,17 @@ use crate::TelemetryEvent;
 pub trait TelemetrySink: fmt::Debug + Send {
     /// Consumes one event.
     fn record(&mut self, event: &TelemetryEvent);
+
+    /// Consumes a batch of events in order, draining `events`. Equivalent to
+    /// calling [`record`](Self::record) once per event — the default does
+    /// exactly that — but lets buffering sinks take the whole batch in one
+    /// move instead of one clone per event. The cluster dispatcher's round
+    /// merge hands entire per-device buffers over through this path.
+    fn record_batch(&mut self, events: &mut Vec<TelemetryEvent>) {
+        for event in events.drain(..) {
+            self.record(&event);
+        }
+    }
 }
 
 /// Shared, cloneable handle to a [`TelemetrySink`].
@@ -44,6 +55,15 @@ impl SinkHandle {
     /// Records one event into the wrapped sink.
     pub fn record(&self, event: TelemetryEvent) {
         self.inner.lock().expect("telemetry sink lock poisoned").record(&event);
+    }
+
+    /// Records a batch of events in order, draining `events`, under a single
+    /// lock acquisition (one per batch instead of one per event).
+    pub fn record_batch(&self, events: &mut Vec<TelemetryEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.inner.lock().expect("telemetry sink lock poisoned").record_batch(events);
     }
 }
 

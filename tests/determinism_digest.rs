@@ -77,6 +77,52 @@ fn hetero_bursty_digest_is_thread_count_invariant() {
     assert_eq!(serial, run_once(1), "two serial runs diverged in one process");
 }
 
+/// The multi-rack variant of the scenario: a 16-device heterogeneous fleet
+/// cut into 4 racks with a short rebalance epoch, so every hierarchical
+/// phase — rack-local retry on the incremental load ordering, rack-local
+/// migration, and the cross-rack epoch exchange — actually runs.
+fn run_racked(threads: usize) -> u64 {
+    let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 6);
+    let fleet = ClusterSpec::heterogeneous_mix(16);
+    let config = ClusterConfig {
+        strategy: PlacementStrategy::GreedyBalance,
+        threads,
+        racks: 4,
+        rebalance_epoch: 4,
+        ..Default::default()
+    };
+    let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(150));
+    let spec = GenSpec::Bursty(BurstyConfig { seed: 0xD16E57, ..Default::default() });
+    let outcome = ClusterDispatcher::new(&taskset, fleet, config)
+        .expect("valid 16-device 4-rack configuration")
+        .run_generated(&spec, horizon);
+    assert!(outcome.summary.total.completed > 0, "scenario must do real work");
+    assert_eq!(outcome.summary.racks, 4);
+    outcome.summary_hash()
+}
+
+#[test]
+fn multi_rack_digest_is_thread_count_invariant() {
+    // The two-level hierarchy must keep the byte-identical guarantee: hash
+    // the 4-rack scenario twice per worker count across 1/2/8 threads. The
+    // repeat at each count catches per-instance nondeterminism (hasher
+    // state, allocation order); the cross-count comparison catches worker
+    // timing leaking through the rack phases.
+    let baseline = run_racked(1);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            baseline,
+            run_racked(threads),
+            "multi-rack digest diverged at {threads} worker threads"
+        );
+        assert_eq!(
+            baseline,
+            run_racked(threads),
+            "repeated multi-rack run diverged at {threads} worker threads"
+        );
+    }
+}
+
 #[test]
 fn telemetry_observation_never_perturbs_the_digest() {
     // Attaching any sink — the ring buffer or the Chrome exporter — must
