@@ -1,17 +1,15 @@
 //! The pure-batching upper baseline.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
-use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
-use daris_metrics::{ExperimentSummary, MetricsCollector};
+use daris_core::Scheduler;
+use daris_gpu::{GpuError, GpuSpec, SimTime};
+use daris_metrics::ExperimentSummary;
 use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
+use daris_workload::{ArrivalStream, TaskSet};
 
-use crate::single_tenant::{run_fifo_loop, LoopEvent};
-
-/// How long a partially filled batch may wait before it is flushed anyway.
-/// Without a timeout an underloaded model would starve forever.
-const BATCH_TIMEOUT_PERIODS: f64 = 0.5;
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::BatchingQueue;
 
 /// A pure batching inference server: released jobs are grouped per model into
 /// fixed-size batches and the batches execute back to back on the whole GPU,
@@ -23,6 +21,7 @@ const BATCH_TIMEOUT_PERIODS: f64 = 0.5;
 #[derive(Debug, Clone)]
 pub struct BatchingServer {
     spec: GpuSpec,
+    calibration: Option<GpuSpec>,
     batch_size: BTreeMap<DnnKind, u32>,
 }
 
@@ -31,7 +30,7 @@ impl BatchingServer {
     /// (4 / 2 / 8, Sec. VI-H).
     pub fn new() -> Self {
         let batch_size = DnnKind::all().iter().map(|k| (*k, k.paper_batch_size())).collect();
-        BatchingServer { spec: GpuSpec::rtx_2080_ti(), batch_size }
+        BatchingServer { spec: GpuSpec::rtx_2080_ti(), calibration: None, batch_size }
     }
 
     /// Overrides the batch size for one model.
@@ -46,112 +45,48 @@ impl BatchingServer {
         self
     }
 
+    /// Calibrates model profiles against a *reference* device instead of
+    /// the server's own (heterogeneous-fleet fairness).
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
+        self
+    }
+
     /// The upper-baseline throughput of a single model: its best batched JPS
     /// over a batch sweep on an idle device (Table I max JPS).
     pub fn upper_baseline_jps(kind: DnnKind) -> f64 {
         ModelProfile::calibrated(kind).best_batched_jps().1
     }
 
-    /// Serves `taskset` until `horizon`.
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`:
+    /// one stream, per-model batches flushed full-or-stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            "Batching".to_string(),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::SharedContext { streams: 1 },
+            Box::new(BatchingQueue::new(self.batch_size.clone(), taskset)),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// *Legacy shim* over [`scheduler`](Self::scheduler) +
+    /// [`Scheduler::run_with_source`].
     ///
     /// # Errors
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
-            .collect();
-        let mut gpu = Gpu::new(self.spec.clone());
-        let ctx = gpu.add_context(self.spec.sm_count)?;
-        let stream = gpu.add_stream(ctx)?;
-        let mut metrics = MetricsCollector::new();
-        let arrivals: Vec<Job> =
-            ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
-
-        let mut pending: BTreeMap<DnnKind, VecDeque<Job>> = BTreeMap::new();
-        let mut in_flight: BTreeMap<u64, Vec<Job>> = BTreeMap::new();
-        let mut next_tag = 0u64;
-        let mut busy = false;
-        let batch_sizes = self.batch_size.clone();
-        let min_period_us: BTreeMap<DnnKind, f64> = taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| {
-                let p = taskset
-                    .tasks()
-                    .iter()
-                    .filter(|t| t.model == k)
-                    .map(|t| t.period.as_micros_f64())
-                    .fold(f64::MAX, f64::min);
-                (k, p)
-            })
-            .collect();
-
-        let dispatch = |gpu: &mut Gpu,
-                        pending: &mut BTreeMap<DnnKind, VecDeque<Job>>,
-                        in_flight: &mut BTreeMap<u64, Vec<Job>>,
-                        busy: &mut bool,
-                        next_tag: &mut u64|
-         -> Result<(), GpuError> {
-            if *busy {
-                return Ok(());
-            }
-            // Pick the model with the most urgent head-of-line job among
-            // those with a full batch, or with a timed-out partial batch.
-            let now_us = gpu.now().as_micros_f64();
-            let mut best: Option<(DnnKind, bool, f64)> = None;
-            for (kind, queue) in pending.iter() {
-                let Some(head) = queue.front() else { continue };
-                let target = batch_sizes.get(kind).copied().unwrap_or(1) as usize;
-                let full = queue.len() >= target;
-                let waited = now_us - head.release.as_micros_f64();
-                let timeout =
-                    BATCH_TIMEOUT_PERIODS * min_period_us.get(kind).copied().unwrap_or(f64::MAX);
-                if full || waited >= timeout {
-                    let urgency = head.absolute_deadline.as_micros_f64();
-                    if best.map(|(_, _, u)| urgency < u).unwrap_or(true) {
-                        best = Some((*kind, full, urgency));
-                    }
-                }
-            }
-            let Some((kind, _, _)) = best else { return Ok(()) };
-            let target = batch_sizes.get(&kind).copied().unwrap_or(1) as usize;
-            let queue = pending.get_mut(&kind).expect("selected kind has a queue");
-            let take = queue.len().min(target);
-            let jobs: Vec<Job> = queue.drain(..take).collect();
-            let profile = &profiles[&kind];
-            let batch = jobs.len() as u32;
-            let tag = *next_tag;
-            *next_tag += 1;
-            let item = WorkItem::new(tag)
-                .with_kernels(profile.job_kernels(batch))
-                .with_h2d_bytes(profile.input_bytes(batch))
-                .with_d2h_bytes(profile.output_bytes(batch));
-            gpu.submit(stream, item)?;
-            in_flight.insert(tag, jobs);
-            *busy = true;
-            Ok(())
-        };
-
-        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
-            LoopEvent::Release(job) => {
-                metrics.record_release(&job);
-                pending.entry(job.model).or_default().push_back(job);
-                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
-            }
-            LoopEvent::Completion { tag, finished_at } => {
-                if let Some(jobs) = in_flight.remove(&tag) {
-                    for job in jobs {
-                        metrics.record_completion(&job, finished_at);
-                    }
-                }
-                busy = false;
-                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
-            }
-        })?;
-        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
     }
 }
 

@@ -1,0 +1,110 @@
+//! Global EDF without stage preemption: deadline-aware, but whole-job.
+
+use daris_core::Scheduler;
+use daris_gpu::{GpuError, GpuSpec, SimTime};
+use daris_metrics::ExperimentSummary;
+use daris_workload::{ArrivalStream, TaskSet};
+
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::EdfQueue;
+
+/// Global earliest-deadline-first over whole jobs: every release enters one
+/// deadline-ordered queue and the most urgent job takes the next idle
+/// stream, committing it for the entire inference.
+///
+/// This is the scheduler the paper implies when it motivates *staging*: EDF
+/// picks the right job, but without stage-level preemption points an urgent
+/// release arriving just after a long job started must wait the job out.
+/// Comparing this against DARIS isolates the value of stage-boundary
+/// preemption from the value of deadline ordering. No admission control, no
+/// priorities beyond the deadline itself, no batching.
+#[derive(Debug, Clone)]
+pub struct GlobalEdfServer {
+    spec: GpuSpec,
+    calibration: Option<GpuSpec>,
+    streams: u32,
+}
+
+impl GlobalEdfServer {
+    /// Creates a server with `streams` parallel streams on the paper's GPU.
+    pub fn new(streams: u32) -> Self {
+        GlobalEdfServer { spec: GpuSpec::rtx_2080_ti(), calibration: None, streams: streams.max(1) }
+    }
+
+    /// Overrides the device.
+    pub fn with_gpu(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Calibrates model profiles against a *reference* device instead of
+    /// the server's own (heterogeneous-fleet fairness).
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
+        self
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> u32 {
+        self.streams
+    }
+
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            format!("GlobalEDF k={}", self.streams),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::SharedContext { streams: self.streams },
+            Box::new(EdfQueue::new()),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (which indicate an internal bug).
+    pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_models::DnnKind;
+
+    #[test]
+    fn edf_beats_fifo_on_deadline_misses_under_mixed_urgency() {
+        // Same device, same streams, same workload: ordering by deadline
+        // instead of release order should not *increase* the miss rate.
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let horizon = SimTime::from_millis(300);
+        let edf = GlobalEdfServer::new(4).run(&taskset, horizon).unwrap();
+        let fifo = crate::FifoMultiStreamServer::new(4).run(&taskset, horizon).unwrap();
+        assert!(
+            edf.total.deadline_miss_rate <= fifo.total.deadline_miss_rate + 0.05,
+            "EDF {} vs FIFO {}",
+            edf.total.deadline_miss_rate,
+            fifo.total.deadline_miss_rate
+        );
+        assert_eq!(edf.total.rejected, 0, "no admission control");
+    }
+
+    #[test]
+    fn underloaded_set_is_served_without_misses() {
+        let light: TaskSet =
+            TaskSet::table2(DnnKind::UNet).tasks().iter().take(3).cloned().collect();
+        let summary = GlobalEdfServer::new(2).run(&light, SimTime::from_millis(300)).unwrap();
+        assert!(summary.total.completed > 10);
+        assert_eq!(summary.total.deadline_misses, 0);
+    }
+}

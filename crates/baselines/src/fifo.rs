@@ -1,14 +1,13 @@
 //! An RTGPU-style multi-stream FIFO baseline: concurrency without priorities,
 //! staging or admission control.
 
-use std::collections::{BTreeMap, VecDeque};
+use daris_core::Scheduler;
+use daris_gpu::{GpuError, GpuSpec, SimTime};
+use daris_metrics::ExperimentSummary;
+use daris_workload::{ArrivalStream, TaskSet};
 
-use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, StreamId, WorkItem};
-use daris_metrics::{ExperimentSummary, MetricsCollector};
-use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
-
-use crate::single_tenant::{run_fifo_loop, LoopEvent};
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::FifoQueue;
 
 /// Serves jobs on `streams` CUDA streams of a single full-GPU context, in
 /// strict release order, one whole job per stream, with no priorities and no
@@ -17,13 +16,18 @@ use crate::single_tenant::{run_fifo_loop, LoopEvent};
 #[derive(Debug, Clone)]
 pub struct FifoMultiStreamServer {
     spec: GpuSpec,
+    calibration: Option<GpuSpec>,
     streams: u32,
 }
 
 impl FifoMultiStreamServer {
     /// Creates a server with `streams` parallel streams on the paper's GPU.
     pub fn new(streams: u32) -> Self {
-        FifoMultiStreamServer { spec: GpuSpec::rtx_2080_ti(), streams: streams.max(1) }
+        FifoMultiStreamServer {
+            spec: GpuSpec::rtx_2080_ti(),
+            calibration: None,
+            streams: streams.max(1),
+        }
     }
 
     /// Overrides the device.
@@ -32,85 +36,54 @@ impl FifoMultiStreamServer {
         self
     }
 
+    /// Calibrates model profiles (and thus deadlines' meaning) against a
+    /// *reference* device instead of the server's own — what a heterogeneous
+    /// fleet comparison needs so every device prices work identically.
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
+        self
+    }
+
     /// Number of streams.
     pub fn streams(&self) -> u32 {
         self.streams
     }
 
-    /// Serves `taskset` until `horizon`.
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            format!("FIFO k={}", self.streams),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::SharedContext { streams: self.streams },
+            Box::new(FifoQueue::new()),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// *Legacy shim* over [`scheduler`](Self::scheduler) +
+    /// [`Scheduler::run_with_source`].
     ///
     /// # Errors
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
-            .collect();
-        let mut gpu = Gpu::new(self.spec.clone());
-        let ctx = gpu.add_context(self.spec.sm_count)?;
-        let mut streams: Vec<StreamId> = Vec::new();
-        for _ in 0..self.streams {
-            streams.push(gpu.add_stream(ctx)?);
-        }
-        let mut metrics = MetricsCollector::new();
-        let arrivals: Vec<Job> =
-            ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
-
-        let mut pending: VecDeque<Job> = VecDeque::new();
-        let mut busy: BTreeMap<StreamId, bool> = streams.iter().map(|s| (*s, false)).collect();
-        let mut in_flight: BTreeMap<u64, (StreamId, Job)> = BTreeMap::new();
-        let mut next_tag = 0u64;
-
-        let dispatch = |gpu: &mut Gpu,
-                        pending: &mut VecDeque<Job>,
-                        busy: &mut BTreeMap<StreamId, bool>,
-                        in_flight: &mut BTreeMap<u64, (StreamId, Job)>,
-                        next_tag: &mut u64|
-         -> Result<(), GpuError> {
-            loop {
-                if pending.is_empty() {
-                    return Ok(());
-                }
-                let Some(stream) = streams.iter().copied().find(|s| !busy[s]) else {
-                    return Ok(());
-                };
-                let job = pending.pop_front().expect("checked non-empty");
-                let profile = &profiles[&job.model];
-                let tag = *next_tag;
-                *next_tag += 1;
-                let item = WorkItem::new(tag)
-                    .with_kernels(profile.job_kernels(job.batch_size))
-                    .with_h2d_bytes(profile.input_bytes(job.batch_size))
-                    .with_d2h_bytes(profile.output_bytes(job.batch_size));
-                gpu.submit(stream, item)?;
-                busy.insert(stream, true);
-                in_flight.insert(tag, (stream, job));
-            }
-        };
-
-        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
-            LoopEvent::Release(job) => {
-                metrics.record_release(&job);
-                pending.push_back(job);
-                dispatch(gpu, &mut pending, &mut busy, &mut in_flight, &mut next_tag)
-            }
-            LoopEvent::Completion { tag, finished_at } => {
-                if let Some((stream, job)) = in_flight.remove(&tag) {
-                    metrics.record_completion(&job, finished_at);
-                    busy.insert(stream, false);
-                }
-                dispatch(gpu, &mut pending, &mut busy, &mut in_flight, &mut next_tag)
-            }
-        })?;
-        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use daris_models::DnnKind;
     use daris_workload::Priority;
 
     #[test]

@@ -1,13 +1,15 @@
 //! A GSlice-like controlled spatial-sharing baseline (Sec. VI-B).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
-use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, StreamId, WorkItem};
-use daris_metrics::{ExperimentSummary, MetricsCollector};
-use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
+use daris_core::Scheduler;
+use daris_gpu::{GpuError, GpuSpec, SimTime};
+use daris_metrics::ExperimentSummary;
+use daris_models::DnnKind;
+use daris_workload::{ArrivalStream, TaskSet};
 
-use crate::single_tenant::{run_fifo_loop, LoopEvent};
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::GsliceQueue;
 
 /// A GSlice-style inference server: the GPU is carved into static,
 /// non-overlapping SM partitions (no oversubscription), each partition serves
@@ -20,6 +22,7 @@ use crate::single_tenant::{run_fifo_loop, LoopEvent};
 #[derive(Debug, Clone)]
 pub struct GsliceServer {
     spec: GpuSpec,
+    calibration: Option<GpuSpec>,
     partitions: u32,
     batch_size: BTreeMap<DnnKind, u32>,
 }
@@ -29,12 +32,24 @@ impl GsliceServer {
     /// RTX 2080 Ti.
     pub fn new(partitions: u32) -> Self {
         let batch_size = DnnKind::all().iter().map(|k| (*k, k.paper_batch_size())).collect();
-        GsliceServer { spec: GpuSpec::rtx_2080_ti(), partitions: partitions.max(1), batch_size }
+        GsliceServer {
+            spec: GpuSpec::rtx_2080_ti(),
+            calibration: None,
+            partitions: partitions.max(1),
+            batch_size,
+        }
     }
 
     /// Overrides the device.
     pub fn with_gpu(mut self, spec: GpuSpec) -> Self {
         self.spec = spec;
+        self
+    }
+
+    /// Calibrates model profiles against a *reference* device instead of
+    /// the server's own (heterogeneous-fleet fairness).
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
         self
     }
 
@@ -49,114 +64,44 @@ impl GsliceServer {
         self.partitions
     }
 
-    /// Serves `taskset` until `horizon`.
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`:
+    /// tasks pin to partitions round-robin by task id (GSlice pins tenants
+    /// to slices); each partition batches its own pending jobs per model and
+    /// runs them FIFO.
     ///
-    /// Tasks are assigned to partitions round-robin by task id (GSlice pins
-    /// tenants to slices); each partition batches its own pending jobs per
-    /// model and runs them FIFO.
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            format!("GSlice p={}", self.partitions),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::Partitions { count: self.partitions },
+            Box::new(GsliceQueue::new(self.partitions as usize, self.batch_size.clone())),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// *Legacy shim* over [`scheduler`](Self::scheduler) +
+    /// [`Scheduler::run_with_source`].
     ///
     /// # Errors
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
-            .collect();
-        let mut gpu = Gpu::new(self.spec.clone());
-        // Static, non-oversubscribed partitions: the quota divides the device.
-        let quota = (self.spec.sm_count / self.partitions).max(2);
-        let mut streams: Vec<StreamId> = Vec::new();
-        for _ in 0..self.partitions {
-            let ctx = gpu.add_context(quota)?;
-            streams.push(gpu.add_stream(ctx)?);
-        }
-        let mut metrics = MetricsCollector::new();
-        let arrivals: Vec<Job> =
-            ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None).into_iter().collect();
-
-        // Per-partition, per-model pending queues.
-        let mut pending: Vec<BTreeMap<DnnKind, VecDeque<Job>>> =
-            (0..self.partitions).map(|_| BTreeMap::new()).collect();
-        let mut busy: Vec<bool> = vec![false; self.partitions as usize];
-        let mut in_flight: BTreeMap<u64, (usize, Vec<Job>)> = BTreeMap::new();
-        let mut next_tag = 0u64;
-        let batch_sizes = self.batch_size.clone();
-        let partitions = self.partitions as usize;
-
-        let dispatch = |gpu: &mut Gpu,
-                        partition: usize,
-                        pending: &mut Vec<BTreeMap<DnnKind, VecDeque<Job>>>,
-                        busy: &mut Vec<bool>,
-                        in_flight: &mut BTreeMap<u64, (usize, Vec<Job>)>,
-                        next_tag: &mut u64|
-         -> Result<(), GpuError> {
-            if busy[partition] {
-                return Ok(());
-            }
-            // Flush the model whose head job has the earliest deadline; wait
-            // for a full batch only if the queue is still short.
-            let now_us = gpu.now().as_micros_f64();
-            let mut best: Option<(DnnKind, f64)> = None;
-            for (kind, queue) in pending[partition].iter() {
-                let Some(head) = queue.front() else { continue };
-                let target = batch_sizes.get(kind).copied().unwrap_or(1) as usize;
-                let waited_long = now_us - head.release.as_micros_f64()
-                    > 0.5 * (head.absolute_deadline - head.release).as_micros_f64();
-                if queue.len() >= target || waited_long {
-                    let urgency = head.absolute_deadline.as_micros_f64();
-                    if best.map(|(_, u)| urgency < u).unwrap_or(true) {
-                        best = Some((*kind, urgency));
-                    }
-                }
-            }
-            let Some((kind, _)) = best else { return Ok(()) };
-            let target = batch_sizes.get(&kind).copied().unwrap_or(1) as usize;
-            let queue = pending[partition].get_mut(&kind).expect("kind has a queue");
-            let take = queue.len().min(target);
-            let jobs: Vec<Job> = queue.drain(..take).collect();
-            let profile = &profiles[&kind];
-            let batch = jobs.len() as u32;
-            let tag = *next_tag;
-            *next_tag += 1;
-            let item = WorkItem::new(tag)
-                .with_kernels(profile.job_kernels(batch))
-                .with_h2d_bytes(profile.input_bytes(batch))
-                .with_d2h_bytes(profile.output_bytes(batch));
-            gpu.submit(streams[partition], item)?;
-            in_flight.insert(tag, (partition, jobs));
-            busy[partition] = true;
-            Ok(())
-        };
-
-        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
-            LoopEvent::Release(job) => {
-                metrics.record_release(&job);
-                let partition = job.id.task.index() % partitions;
-                pending[partition].entry(job.model).or_default().push_back(job);
-                dispatch(gpu, partition, &mut pending, &mut busy, &mut in_flight, &mut next_tag)
-            }
-            LoopEvent::Completion { tag, finished_at } => {
-                let partition = if let Some((partition, jobs)) = in_flight.remove(&tag) {
-                    for job in jobs {
-                        metrics.record_completion(&job, finished_at);
-                    }
-                    busy[partition] = false;
-                    partition
-                } else {
-                    return Ok(());
-                };
-                dispatch(gpu, partition, &mut pending, &mut busy, &mut in_flight, &mut next_tag)
-            }
-        })?;
-        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use daris_models::DnnKind;
 
     #[test]
     fn gslice_improves_modestly_over_pure_batching_for_resnet50() {

@@ -1,0 +1,262 @@
+//! [`BaselineScheduler`]: the shared device harness behind every baseline.
+//!
+//! One struct owns the simulated GPU, its dispatch slots (streams), metrics
+//! and in-flight bookkeeping; a [`DispatchQueue`] policy supplies the only
+//! behaviour that differs between baselines. The struct implements
+//! [`daris_core::Scheduler`], so every baseline can be driven standalone,
+//! replayed from traces, or fanned out across a fleet by the cluster
+//! dispatcher — exactly like [`DarisScheduler`](daris_core::DarisScheduler).
+//!
+//! This retires the old per-baseline `run_fifo_loop` plumbing: the event
+//! loop is now the [`Scheduler`] trait's canonical `run_span` default,
+//! shared with DARIS itself.
+
+use std::collections::BTreeMap;
+
+use daris_core::{ExperimentOutcome, Result as CoreResult, Scheduler};
+use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, StreamId, WorkItem};
+use daris_metrics::MetricsCollector;
+use daris_models::{DnnKind, ModelProfile};
+use daris_workload::{Job, JobId, Priority, TaskId, TaskSet, TaskSpec};
+
+use crate::policies::{DispatchBatch, DispatchQueue};
+
+/// How the device is carved into dispatch slots.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SlotLayout {
+    /// One full-GPU context with `streams` CUDA streams (FIFO-family
+    /// baselines; `streams == 1` is the single-tenant/batching shape).
+    SharedContext {
+        /// Number of streams sharing the context.
+        streams: u32,
+    },
+    /// `count` static, non-oversubscribed SM partitions, one stream each
+    /// (the GSlice shape). Slot index == partition index.
+    Partitions {
+        /// Number of equal partitions.
+        count: u32,
+    },
+}
+
+/// A baseline scheduler: shared harness + one queueing policy.
+///
+/// Build one through a server type's `scheduler(..)` method
+/// ([`FifoMultiStreamServer::scheduler`](crate::FifoMultiStreamServer::scheduler)
+/// and friends), then drive it through the [`Scheduler`] trait.
+///
+/// Baselines deliberately implement the "may not" list of the trait
+/// contract's fairness rules: no admission control
+/// ([`would_admit`](Scheduler::would_admit) accepts every task of the set,
+/// [`try_release_job`](Scheduler::try_release_job) never refuses), no MRET
+/// estimation, no stage-level preemption (whole jobs are committed to a
+/// stream), and no virtual deadlines.
+#[derive(Debug)]
+pub struct BaselineScheduler {
+    label: String,
+    taskset: TaskSet,
+    calibration: GpuSpec,
+    profiles: BTreeMap<DnnKind, ModelProfile>,
+    gpu: Gpu,
+    /// One stream per dispatch slot (partitioned layouts: one context per
+    /// slot too).
+    slots: Vec<StreamId>,
+    busy: Vec<bool>,
+    /// Submitted tag → (slot, fused jobs).
+    in_flight: BTreeMap<u64, (usize, Vec<Job>)>,
+    next_tag: u64,
+    policy: Box<dyn DispatchQueue>,
+    metrics: MetricsCollector,
+    now: SimTime,
+}
+
+impl BaselineScheduler {
+    /// Builds the harness: device, slot layout, per-model profiles
+    /// calibrated against `calibration` (the *reference* device in a
+    /// heterogeneous fleet, so deadlines mean the same thing on every
+    /// scheduler), and the policy.
+    pub(crate) fn build(
+        label: String,
+        taskset: &TaskSet,
+        device: GpuSpec,
+        calibration: GpuSpec,
+        layout: SlotLayout,
+        policy: Box<dyn DispatchQueue>,
+    ) -> Result<Self, GpuError> {
+        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
+            .model_kinds()
+            .into_iter()
+            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &calibration)))
+            .collect();
+        let mut gpu = Gpu::new(device.clone());
+        let slots = match layout {
+            SlotLayout::SharedContext { streams } => {
+                let ctx = gpu.add_context(device.sm_count)?;
+                let mut slots = Vec::new();
+                for _ in 0..streams.max(1) {
+                    slots.push(gpu.add_stream(ctx)?);
+                }
+                slots
+            }
+            SlotLayout::Partitions { count } => {
+                let count = count.max(1);
+                let quota = (device.sm_count / count).max(2);
+                let mut slots = Vec::new();
+                for _ in 0..count {
+                    let ctx = gpu.add_context(quota)?;
+                    slots.push(gpu.add_stream(ctx)?);
+                }
+                slots
+            }
+        };
+        let busy = vec![false; slots.len()];
+        Ok(BaselineScheduler {
+            label,
+            taskset: taskset.clone(),
+            calibration,
+            profiles,
+            gpu,
+            slots,
+            busy,
+            in_flight: BTreeMap::new(),
+            next_tag: 0,
+            policy,
+            metrics: MetricsCollector::new(),
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// Read access to the underlying simulated GPU.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Jobs accepted but not yet completed: queued plus in flight. The job
+    /// conservation invariant every baseline upholds is
+    /// `released == completed + rejected + outstanding` at any point of a
+    /// run (with `rejected == 0` — baselines never refuse).
+    pub fn outstanding_jobs(&self) -> usize {
+        self.policy.queued() + self.in_flight.values().map(|(_, jobs)| jobs.len()).sum::<usize>()
+    }
+
+    fn submit(&mut self, slot: usize, batch: DispatchBatch) {
+        let model = batch.jobs.first().expect("a dispatch batch is never empty").model;
+        let profile = &self.profiles[&model];
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let item = WorkItem::new(tag)
+            .with_kernels(profile.job_kernels(batch.batch))
+            .with_h2d_bytes(profile.input_bytes(batch.batch))
+            .with_d2h_bytes(profile.output_bytes(batch.batch));
+        self.gpu
+            .submit(self.slots[slot], item)
+            .expect("submitting to an idle baseline stream cannot fail");
+        self.in_flight.insert(tag, (slot, batch.jobs));
+        self.busy[slot] = true;
+    }
+}
+
+impl Scheduler for BaselineScheduler {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.gpu.next_event_time()
+    }
+
+    fn advance_to(&mut self, target: SimTime) {
+        let completions = self.gpu.advance_to(target);
+        self.now = target;
+        for completion in completions {
+            if let Some((slot, jobs)) = self.in_flight.remove(&completion.tag) {
+                for job in jobs {
+                    self.metrics.record_completion(&job, completion.finished_at);
+                }
+                self.busy[slot] = false;
+            }
+        }
+    }
+
+    fn dispatch_ready(&mut self) {
+        for slot in 0..self.slots.len() {
+            while !self.busy[slot] {
+                let Some(batch) = self.policy.pop(slot, self.now) else { break };
+                self.submit(slot, batch);
+            }
+        }
+    }
+
+    fn try_release_job(&mut self, job: Job) -> bool {
+        // No admission control: every release of a known task is accepted.
+        self.metrics.record_release(&job);
+        self.policy.push(job, self.slots.len());
+        true
+    }
+
+    fn reject_job(&mut self, job: &Job) {
+        self.metrics.record_rejection(job);
+    }
+
+    fn would_admit(&self, task: TaskId, _priority: Priority) -> bool {
+        self.taskset.task(task).is_some()
+    }
+
+    fn adopt_task(&mut self, task: &TaskSpec) -> CoreResult<TaskId> {
+        if !self.profiles.contains_key(&task.model) {
+            let profile =
+                ModelProfile::calibrated_for(task.model, Default::default(), &self.calibration);
+            self.profiles.insert(task.model, profile);
+        }
+        let local = self.taskset.adopt(task.clone());
+        let spec = self.taskset.task(local).expect("just adopted").clone();
+        self.policy.on_task_added(&spec);
+        Ok(local)
+    }
+
+    fn withdraw_queued_job(&mut self, job: JobId) -> Option<Job> {
+        let withdrawn = self.policy.withdraw(job)?;
+        self.metrics.forget(job);
+        Some(withdrawn)
+    }
+
+    fn migratable_jobs(&self) -> Vec<JobId> {
+        // Least urgent (latest deadline) first, ties by id — the same
+        // ordering DARIS reports, so the dispatcher treats all schedulers
+        // alike.
+        let mut jobs = self.policy.queued_jobs();
+        jobs.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        jobs.into_iter().map(|(_, job)| job).collect()
+    }
+
+    fn queue_backlog(&self) -> usize {
+        self.policy.queued()
+    }
+
+    fn idle_stream_count(&self) -> usize {
+        self.busy.iter().filter(|busy| !**busy).count()
+    }
+
+    fn active_load_fraction(&self) -> f64 {
+        // Baselines have no utilization model; approximate load as jobs per
+        // slot (busy slots plus backlog), which ranks retry candidates
+        // sensibly without claiming Eq. 11 semantics.
+        let slots = self.slots.len().max(1) as u32;
+        let active = (self.busy.iter().filter(|b| **b).count() + self.policy.queued()) as u32;
+        f64::from(active) / f64::from(slots)
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.gpu.events_processed()
+    }
+
+    fn taskset(&self) -> &TaskSet {
+        &self.taskset
+    }
+
+    fn finish(&mut self, horizon: SimTime) -> ExperimentOutcome {
+        self.advance_to(horizon);
+        let summary =
+            self.metrics.summarize(horizon).with_gpu_utilization(self.gpu.average_utilization());
+        ExperimentOutcome { summary, mret_trace: Vec::new(), config_label: self.label.clone() }
+    }
+}

@@ -2,7 +2,10 @@
 //! # daris-baselines
 //!
 //! The comparison schedulers used by the DARIS paper's evaluation, all
-//! implemented against the same simulated GPU:
+//! implemented against the same simulated GPU **and the same
+//! [`daris_core::Scheduler`] trait** as DARIS itself, so every baseline can
+//! be driven standalone, replayed from traces, or fanned out across a fleet
+//! by `daris-cluster`'s dispatcher:
 //!
 //! * [`SingleTenantServer`] — one DNN at a time on the whole GPU, FIFO. This
 //!   is the paper's *lower baseline* ("single DNN" throughput, also the
@@ -16,7 +19,14 @@
 //!   batched inference, no priorities and no admission control (Sec. VI-B).
 //! * [`FifoMultiStreamServer`] — an RTGPU-style multi-stream FIFO scheduler
 //!   with no priorities, no staging and no admission test.
+//! * [`GlobalEdfServer`] — global EDF over whole jobs: deadline-aware, but
+//!   without DARIS's stage-boundary preemption points.
+//! * [`PriorityOnlyServer`] — strict class priority without batching,
+//!   staging, deadlines or admission control.
 //!
+//! Each server is a thin builder over one shared [`BaselineScheduler`]
+//! harness plus a private queueing policy — the only part that differs
+//! between baselines — so comparisons compare *policies*, not loop plumbing.
 //! Every baseline returns the same [`daris_metrics::ExperimentSummary`] the
 //! DARIS runtime produces, so experiment runners can compare them directly.
 
@@ -24,11 +34,18 @@
 #![warn(missing_debug_implementations)]
 
 mod batching;
+mod edf;
 mod fifo;
 mod gslice;
+mod harness;
+mod policies;
+mod priority_only;
 mod single_tenant;
 
 pub use batching::BatchingServer;
+pub use edf::GlobalEdfServer;
 pub use fifo::FifoMultiStreamServer;
 pub use gslice::GsliceServer;
+pub use harness::BaselineScheduler;
+pub use priority_only::PriorityOnlyServer;
 pub use single_tenant::SingleTenantServer;

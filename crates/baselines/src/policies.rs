@@ -1,0 +1,322 @@
+//! Dispatch policies: the *only* part that differs between baselines.
+//!
+//! Each baseline scheduler is [`BaselineScheduler`](crate::BaselineScheduler)
+//! — the shared device harness — plus one [`DispatchQueue`] implementation
+//! deciding which queued jobs run next on an idle slot. Everything else
+//! (event loop, metrics, completion handling) is common, so a comparison
+//! between two baselines compares queueing policies, nothing else.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use daris_gpu::SimTime;
+use daris_models::DnnKind;
+use daris_workload::{Job, JobId, Priority, TaskSet, TaskSpec};
+
+/// How long a partially filled batch may wait before it is flushed anyway.
+/// Without a timeout an underloaded model would starve forever.
+pub(crate) const BATCH_TIMEOUT_PERIODS: f64 = 0.5;
+
+/// A set of jobs submitted to the device as one work item.
+#[derive(Debug)]
+pub(crate) struct DispatchBatch {
+    /// The jobs fused into the item (all of one model for batched policies).
+    pub jobs: Vec<Job>,
+    /// The inference count submitted to the device. Whole-job policies pass
+    /// the job's own batch size; batching policies pass the fused job count.
+    pub batch: u32,
+}
+
+impl DispatchBatch {
+    fn single(job: Job) -> Self {
+        DispatchBatch { batch: job.batch_size, jobs: vec![job] }
+    }
+
+    fn fused(jobs: Vec<Job>) -> Self {
+        DispatchBatch { batch: jobs.len() as u32, jobs }
+    }
+}
+
+/// The pluggable queueing policy of a [`BaselineScheduler`]
+/// (`crate::BaselineScheduler`).
+///
+/// `slot` indexes the harness's dispatch slots (one CUDA stream each;
+/// partitioned layouts give every slot its own context). Policies with one
+/// global queue ignore it; partition-pinned policies key their queues by it.
+pub(crate) trait DispatchQueue: std::fmt::Debug + Send {
+    /// Queues a released (always-admitted) job. `slots` is the slot count.
+    fn push(&mut self, job: Job, slots: usize);
+
+    /// The next batch to run on idle `slot` at `now`, or `None` to leave it
+    /// idle.
+    fn pop(&mut self, slot: usize, now: SimTime) -> Option<DispatchBatch>;
+
+    /// Removes a queued job by id (cross-device migration support).
+    fn withdraw(&mut self, id: JobId) -> Option<Job>;
+
+    /// Number of queued jobs.
+    fn queued(&self) -> usize;
+
+    /// Queued jobs as `(EDF deadline, id)` pairs, in no particular order.
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)>;
+
+    /// Observes a newly adopted guest task (timeout bookkeeping).
+    fn on_task_added(&mut self, _spec: &TaskSpec) {}
+}
+
+fn withdraw_from(queue: &mut VecDeque<Job>, id: JobId) -> Option<Job> {
+    let at = queue.iter().position(|j| j.id == id)?;
+    queue.remove(at)
+}
+
+/// Strict release-order FIFO over one global queue, one whole job per slot —
+/// the RTGPU-style multi-stream baseline (and, with one slot, the
+/// single-tenant lower baseline).
+#[derive(Debug, Default)]
+pub(crate) struct FifoQueue {
+    queue: VecDeque<Job>,
+}
+
+impl FifoQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DispatchQueue for FifoQueue {
+    fn push(&mut self, job: Job, _slots: usize) {
+        self.queue.push_back(job);
+    }
+
+    fn pop(&mut self, _slot: usize, _now: SimTime) -> Option<DispatchBatch> {
+        self.queue.pop_front().map(DispatchBatch::single)
+    }
+
+    fn withdraw(&mut self, id: JobId) -> Option<Job> {
+        withdraw_from(&mut self.queue, id)
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)> {
+        self.queue.iter().map(|j| (j.absolute_deadline, j.id)).collect()
+    }
+}
+
+/// Global EDF without stage preemption: whole jobs ordered by absolute
+/// deadline, ties broken by job id. Deadline-aware but commits a stream to
+/// the entire inference, so an urgent release cannot preempt a long-running
+/// low-urgency job — the design point DARIS's staging improves on.
+#[derive(Debug, Default)]
+pub(crate) struct EdfQueue {
+    queue: BTreeMap<(SimTime, JobId), Job>,
+}
+
+impl EdfQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DispatchQueue for EdfQueue {
+    fn push(&mut self, job: Job, _slots: usize) {
+        self.queue.insert((job.absolute_deadline, job.id), job);
+    }
+
+    fn pop(&mut self, _slot: usize, _now: SimTime) -> Option<DispatchBatch> {
+        let key = *self.queue.keys().next()?;
+        self.queue.remove(&key).map(DispatchBatch::single)
+    }
+
+    fn withdraw(&mut self, id: JobId) -> Option<Job> {
+        let key = self.queue.keys().find(|(_, j)| *j == id).copied()?;
+        self.queue.remove(&key)
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)> {
+        self.queue.keys().map(|(d, j)| (*d, *j)).collect()
+    }
+}
+
+/// Priority-only: high-priority jobs strictly before low-priority ones, FIFO
+/// within each class, whole jobs, no batching and no deadline awareness —
+/// what priority scheduling buys *without* DARIS's admission test, staging
+/// or virtual deadlines.
+#[derive(Debug, Default)]
+pub(crate) struct PriorityOnlyQueue {
+    high: VecDeque<Job>,
+    low: VecDeque<Job>,
+}
+
+impl PriorityOnlyQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DispatchQueue for PriorityOnlyQueue {
+    fn push(&mut self, job: Job, _slots: usize) {
+        match job.priority {
+            Priority::High => self.high.push_back(job),
+            Priority::Low => self.low.push_back(job),
+        }
+    }
+
+    fn pop(&mut self, _slot: usize, _now: SimTime) -> Option<DispatchBatch> {
+        self.high.pop_front().or_else(|| self.low.pop_front()).map(DispatchBatch::single)
+    }
+
+    fn withdraw(&mut self, id: JobId) -> Option<Job> {
+        withdraw_from(&mut self.high, id).or_else(|| withdraw_from(&mut self.low, id))
+    }
+
+    fn queued(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)> {
+        self.high.iter().chain(self.low.iter()).map(|j| (j.absolute_deadline, j.id)).collect()
+    }
+}
+
+/// Pure batching: per-model queues, flushed full or on timeout, most urgent
+/// head first — the paper's upper baseline (best throughput, no real-time
+/// behaviour).
+#[derive(Debug)]
+pub(crate) struct BatchingQueue {
+    pending: BTreeMap<DnnKind, VecDeque<Job>>,
+    batch_size: BTreeMap<DnnKind, u32>,
+    /// Shortest period among tasks of each model; scales the flush timeout.
+    min_period_us: BTreeMap<DnnKind, f64>,
+}
+
+impl BatchingQueue {
+    pub fn new(batch_size: BTreeMap<DnnKind, u32>, taskset: &TaskSet) -> Self {
+        let mut queue =
+            BatchingQueue { pending: BTreeMap::new(), batch_size, min_period_us: BTreeMap::new() };
+        for task in taskset.tasks() {
+            queue.on_task_added(task);
+        }
+        queue
+    }
+}
+
+impl DispatchQueue for BatchingQueue {
+    fn push(&mut self, job: Job, _slots: usize) {
+        self.pending.entry(job.model).or_default().push_back(job);
+    }
+
+    fn pop(&mut self, _slot: usize, now: SimTime) -> Option<DispatchBatch> {
+        // Pick the model with the most urgent head-of-line job among those
+        // with a full batch, or with a timed-out partial batch.
+        let now_us = now.as_micros_f64();
+        let mut best: Option<(DnnKind, f64)> = None;
+        for (kind, queue) in self.pending.iter() {
+            let Some(head) = queue.front() else { continue };
+            let target = self.batch_size.get(kind).copied().unwrap_or(1) as usize;
+            let full = queue.len() >= target;
+            let waited = now_us - head.release.as_micros_f64();
+            let timeout =
+                BATCH_TIMEOUT_PERIODS * self.min_period_us.get(kind).copied().unwrap_or(f64::MAX);
+            if full || waited >= timeout {
+                let urgency = head.absolute_deadline.as_micros_f64();
+                if best.map(|(_, u)| urgency < u).unwrap_or(true) {
+                    best = Some((*kind, urgency));
+                }
+            }
+        }
+        let (kind, _) = best?;
+        let target = self.batch_size.get(&kind).copied().unwrap_or(1) as usize;
+        let queue = self.pending.get_mut(&kind).expect("selected kind has a queue");
+        let take = queue.len().min(target);
+        Some(DispatchBatch::fused(queue.drain(..take).collect()))
+    }
+
+    fn withdraw(&mut self, id: JobId) -> Option<Job> {
+        self.pending.values_mut().find_map(|q| withdraw_from(q, id))
+    }
+
+    fn queued(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
+    }
+
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)> {
+        self.pending.values().flat_map(|q| q.iter().map(|j| (j.absolute_deadline, j.id))).collect()
+    }
+
+    fn on_task_added(&mut self, spec: &TaskSpec) {
+        let period = spec.period.as_micros_f64();
+        self.min_period_us.entry(spec.model).and_modify(|p| *p = p.min(period)).or_insert(period);
+    }
+}
+
+/// GSlice-style partition-pinned batching: tasks pin to a slot (partition)
+/// round-robin by task id; each partition batches its own per-model queues
+/// and flushes the most urgent full-or-stale one.
+#[derive(Debug)]
+pub(crate) struct GsliceQueue {
+    partitions: Vec<BTreeMap<DnnKind, VecDeque<Job>>>,
+    batch_size: BTreeMap<DnnKind, u32>,
+}
+
+impl GsliceQueue {
+    pub fn new(partitions: usize, batch_size: BTreeMap<DnnKind, u32>) -> Self {
+        GsliceQueue {
+            partitions: (0..partitions.max(1)).map(|_| BTreeMap::new()).collect(),
+            batch_size,
+        }
+    }
+}
+
+impl DispatchQueue for GsliceQueue {
+    fn push(&mut self, job: Job, _slots: usize) {
+        let partition = job.id.task.index() % self.partitions.len();
+        self.partitions[partition].entry(job.model).or_default().push_back(job);
+    }
+
+    fn pop(&mut self, slot: usize, now: SimTime) -> Option<DispatchBatch> {
+        let pending = self.partitions.get_mut(slot)?;
+        // Flush the model whose head job has the earliest deadline; wait for
+        // a full batch only if the queue is still short.
+        let now_us = now.as_micros_f64();
+        let mut best: Option<(DnnKind, f64)> = None;
+        for (kind, queue) in pending.iter() {
+            let Some(head) = queue.front() else { continue };
+            let target = self.batch_size.get(kind).copied().unwrap_or(1) as usize;
+            let waited_long = now_us - head.release.as_micros_f64()
+                > 0.5 * (head.absolute_deadline - head.release).as_micros_f64();
+            if queue.len() >= target || waited_long {
+                let urgency = head.absolute_deadline.as_micros_f64();
+                if best.map(|(_, u)| urgency < u).unwrap_or(true) {
+                    best = Some((*kind, urgency));
+                }
+            }
+        }
+        let (kind, _) = best?;
+        let target = self.batch_size.get(&kind).copied().unwrap_or(1) as usize;
+        let queue = pending.get_mut(&kind).expect("selected kind has a queue");
+        let take = queue.len().min(target);
+        Some(DispatchBatch::fused(queue.drain(..take).collect()))
+    }
+
+    fn withdraw(&mut self, id: JobId) -> Option<Job> {
+        self.partitions.iter_mut().flat_map(|p| p.values_mut()).find_map(|q| withdraw_from(q, id))
+    }
+
+    fn queued(&self) -> usize {
+        self.partitions.iter().flat_map(|p| p.values()).map(VecDeque::len).sum()
+    }
+
+    fn queued_jobs(&self) -> Vec<(SimTime, JobId)> {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values())
+            .flat_map(|q| q.iter().map(|j| (j.absolute_deadline, j.id)))
+            .collect()
+    }
+}

@@ -1,0 +1,117 @@
+//! Priority-only scheduling: classes, but no batching, staging or admission.
+
+use daris_core::Scheduler;
+use daris_gpu::{GpuError, GpuSpec, SimTime};
+use daris_metrics::ExperimentSummary;
+use daris_workload::{ArrivalStream, TaskSet};
+
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::PriorityOnlyQueue;
+
+/// Strict two-level priority scheduling over whole jobs: high-priority
+/// releases always dispatch before low-priority ones, FIFO within each
+/// class, on `streams` parallel streams.
+///
+/// This is what "priority scheduling" buys *without* the rest of DARIS — no
+/// admission test (an overload degrades everyone), no batching, no staging,
+/// no deadline ordering within a class. Comparing it against DARIS isolates
+/// the value of the admission + virtual-deadline machinery from the value of
+/// mere class separation.
+#[derive(Debug, Clone)]
+pub struct PriorityOnlyServer {
+    spec: GpuSpec,
+    calibration: Option<GpuSpec>,
+    streams: u32,
+}
+
+impl PriorityOnlyServer {
+    /// Creates a server with `streams` parallel streams on the paper's GPU.
+    pub fn new(streams: u32) -> Self {
+        PriorityOnlyServer {
+            spec: GpuSpec::rtx_2080_ti(),
+            calibration: None,
+            streams: streams.max(1),
+        }
+    }
+
+    /// Overrides the device.
+    pub fn with_gpu(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Calibrates model profiles against a *reference* device instead of
+    /// the server's own (heterogeneous-fleet fairness).
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
+        self
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> u32 {
+        self.streams
+    }
+
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            format!("PriorityOnly k={}", self.streams),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::SharedContext { streams: self.streams },
+            Box::new(PriorityOnlyQueue::new()),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (which indicate an internal bug).
+    pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use daris_models::DnnKind;
+    use daris_workload::Priority;
+
+    #[test]
+    fn priority_only_protects_hp_relative_to_fifo() {
+        // Class separation should cut the HP miss rate relative to blind
+        // FIFO on the same overloaded set, at the expense of LP jobs.
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let horizon = SimTime::from_millis(300);
+        let prio = PriorityOnlyServer::new(4).run(&taskset, horizon).unwrap();
+        let fifo = crate::FifoMultiStreamServer::new(4).run(&taskset, horizon).unwrap();
+        assert!(
+            prio.of(Priority::High).deadline_miss_rate
+                <= fifo.of(Priority::High).deadline_miss_rate,
+            "priority-only HP {} vs FIFO HP {}",
+            prio.of(Priority::High).deadline_miss_rate,
+            fifo.of(Priority::High).deadline_miss_rate
+        );
+        assert_eq!(prio.total.rejected, 0, "no admission control");
+    }
+
+    #[test]
+    fn low_priority_still_runs_when_high_is_idle() {
+        let light: TaskSet =
+            TaskSet::table2(DnnKind::UNet).tasks().iter().take(3).cloned().collect();
+        let summary = PriorityOnlyServer::new(2).run(&light, SimTime::from_millis(300)).unwrap();
+        assert!(
+            summary.of(Priority::Low).completed > 0 || summary.of(Priority::High).completed > 0
+        );
+        assert_eq!(summary.total.deadline_misses, 0);
+    }
+}

@@ -1,11 +1,13 @@
 //! The single-tenant (one DNN at a time) lower baseline.
 
-use std::collections::{BTreeMap, VecDeque};
-
+use daris_core::Scheduler;
 use daris_gpu::{Gpu, GpuError, GpuSpec, SimTime, WorkItem};
-use daris_metrics::{ExperimentSummary, MetricsCollector};
+use daris_metrics::ExperimentSummary;
 use daris_models::{DnnKind, ModelProfile};
-use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
+use daris_workload::{ArrivalStream, TaskSet};
+
+use crate::harness::{BaselineScheduler, SlotLayout};
+use crate::policies::FifoQueue;
 
 /// Serves jobs strictly one at a time on the whole GPU, in release (FIFO)
 /// order — the paper's "single DNN" lower baseline and the design point of
@@ -22,17 +24,25 @@ use daris_workload::{ArrivalPlan, Job, ReleaseJitter, TaskSet};
 #[derive(Debug, Clone)]
 pub struct SingleTenantServer {
     spec: GpuSpec,
+    calibration: Option<GpuSpec>,
 }
 
 impl SingleTenantServer {
     /// Creates a server on the paper's RTX 2080 Ti.
     pub fn new() -> Self {
-        SingleTenantServer { spec: GpuSpec::rtx_2080_ti() }
+        SingleTenantServer { spec: GpuSpec::rtx_2080_ti(), calibration: None }
     }
 
     /// Creates a server on a custom device.
     pub fn with_gpu(spec: GpuSpec) -> Self {
-        SingleTenantServer { spec }
+        SingleTenantServer { spec, calibration: None }
+    }
+
+    /// Calibrates model profiles against a *reference* device instead of
+    /// the server's own (heterogeneous-fleet fairness).
+    pub fn with_calibration(mut self, reference: GpuSpec) -> Self {
+        self.calibration = Some(reference);
+        self
     }
 
     /// Measures the isolated (unbatched, single-stream) throughput of one
@@ -54,66 +64,35 @@ impl SingleTenantServer {
         f64::from(jobs) / gpu.now().as_secs_f64()
     }
 
-    /// Serves `taskset` until `horizon` and returns the resulting metrics.
+    /// Builds the [`Scheduler`]-trait form of this baseline over `taskset`:
+    /// one stream, one whole job at a time, FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction errors.
+    pub fn scheduler(&self, taskset: &TaskSet) -> Result<BaselineScheduler, GpuError> {
+        BaselineScheduler::build(
+            "SingleTenant".to_string(),
+            taskset,
+            self.spec.clone(),
+            self.calibration.clone().unwrap_or_else(|| self.spec.clone()),
+            SlotLayout::SharedContext { streams: 1 },
+            Box::new(FifoQueue::new()),
+        )
+    }
+
+    /// Serves `taskset` until `horizon` with strictly periodic arrivals.
+    ///
+    /// *Legacy shim* over [`scheduler`](Self::scheduler) +
+    /// [`Scheduler::run_with_source`].
     ///
     /// # Errors
     ///
     /// Propagates simulator errors (which indicate an internal bug).
     pub fn run(&self, taskset: &TaskSet, horizon: SimTime) -> Result<ExperimentSummary, GpuError> {
-        let profiles: BTreeMap<DnnKind, ModelProfile> = taskset
-            .model_kinds()
-            .into_iter()
-            .map(|k| (k, ModelProfile::calibrated_for(k, Default::default(), &self.spec)))
-            .collect();
-        let mut gpu = Gpu::new(self.spec.clone());
-        let ctx = gpu.add_context(self.spec.sm_count)?;
-        let stream = gpu.add_stream(ctx)?;
-        let mut metrics = MetricsCollector::new();
-        let plan = ArrivalPlan::generate(taskset, horizon, ReleaseJitter::None);
-        let arrivals: Vec<Job> = plan.into_iter().collect();
-        let mut pending: VecDeque<Job> = VecDeque::new();
-        let mut in_flight: BTreeMap<u64, Job> = BTreeMap::new();
-        let mut next_tag = 0u64;
-        let mut busy = false;
-
-        let dispatch = |gpu: &mut Gpu,
-                        pending: &mut VecDeque<Job>,
-                        in_flight: &mut BTreeMap<u64, Job>,
-                        busy: &mut bool,
-                        next_tag: &mut u64|
-         -> Result<(), GpuError> {
-            if *busy {
-                return Ok(());
-            }
-            let Some(job) = pending.pop_front() else { return Ok(()) };
-            let profile = &profiles[&job.model];
-            let tag = *next_tag;
-            *next_tag += 1;
-            let item = WorkItem::new(tag)
-                .with_kernels(profile.job_kernels(job.batch_size))
-                .with_h2d_bytes(profile.input_bytes(job.batch_size))
-                .with_d2h_bytes(profile.output_bytes(job.batch_size));
-            gpu.submit(stream, item)?;
-            in_flight.insert(tag, job);
-            *busy = true;
-            Ok(())
-        };
-
-        run_fifo_loop(&mut gpu, &arrivals, horizon, |gpu, event| match event {
-            LoopEvent::Release(job) => {
-                metrics.record_release(&job);
-                pending.push_back(job);
-                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
-            }
-            LoopEvent::Completion { tag, finished_at } => {
-                if let Some(job) = in_flight.remove(&tag) {
-                    metrics.record_completion(&job, finished_at);
-                }
-                busy = false;
-                dispatch(gpu, &mut pending, &mut in_flight, &mut busy, &mut next_tag)
-            }
-        })?;
-        Ok(metrics.summarize(horizon).with_gpu_utilization(gpu.average_utilization()))
+        let mut scheduler = self.scheduler(taskset)?;
+        let mut arrivals = ArrivalStream::new(taskset, horizon);
+        Ok(scheduler.run_with_source(&mut arrivals, horizon).summary)
     }
 }
 
@@ -121,61 +100,6 @@ impl Default for SingleTenantServer {
     fn default() -> Self {
         SingleTenantServer::new()
     }
-}
-
-/// Events delivered to baseline run loops.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum LoopEvent {
-    /// A job release.
-    Release(Job),
-    /// A work-item completion.
-    Completion {
-        /// The submitted tag.
-        tag: u64,
-        /// Completion time.
-        finished_at: SimTime,
-    },
-}
-
-/// Shared event loop for the baseline servers: merges GPU completions and job
-/// releases in time order until `horizon`, invoking `handler` for each.
-pub(crate) fn run_fifo_loop<F>(
-    gpu: &mut Gpu,
-    arrivals: &[Job],
-    horizon: SimTime,
-    mut handler: F,
-) -> Result<(), GpuError>
-where
-    F: FnMut(&mut Gpu, LoopEvent) -> Result<(), GpuError>,
-{
-    let mut next_arrival = 0usize;
-    loop {
-        let next_release = arrivals.get(next_arrival).map(|j| j.release);
-        let gpu_next = gpu.next_event_time();
-        let step_to = match (next_release, gpu_next) {
-            (Some(r), Some(g)) => r.min(g),
-            (Some(r), None) => r,
-            (None, Some(g)) => g,
-            (None, None) => break,
-        };
-        if step_to > horizon {
-            break;
-        }
-        let completions = gpu.advance_to(step_to);
-        for c in completions {
-            handler(gpu, LoopEvent::Completion { tag: c.tag, finished_at: c.finished_at })?;
-        }
-        while next_arrival < arrivals.len() && arrivals[next_arrival].release <= step_to {
-            let job = arrivals[next_arrival];
-            next_arrival += 1;
-            handler(gpu, LoopEvent::Release(job))?;
-        }
-    }
-    let completions = gpu.advance_to(horizon);
-    for c in completions {
-        handler(gpu, LoopEvent::Completion { tag: c.tag, finished_at: c.finished_at })?;
-    }
-    Ok(())
 }
 
 #[cfg(test)]

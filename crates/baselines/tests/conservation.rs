@@ -1,0 +1,77 @@
+//! Job conservation under the `Scheduler` trait: for every baseline, over
+//! randomized task sets and horizons, every released job is accounted
+//! exactly once — `released == completed + rejected + outstanding` at the
+//! end of the run (with `rejected == 0`: baselines never refuse work).
+//!
+//! Deadline misses deliberately do NOT enter the conservation sum: the
+//! metrics model counts a late completion as both completed and missed, so
+//! misses overlap completions and are instead bounded by `accepted`.
+
+use daris_baselines::{
+    BaselineScheduler, BatchingServer, FifoMultiStreamServer, GlobalEdfServer, GsliceServer,
+    PriorityOnlyServer, SingleTenantServer,
+};
+use daris_core::Scheduler;
+use daris_gpu::{SimTime, XorShiftRng};
+use daris_models::DnnKind;
+use daris_workload::{ArrivalStream, Priority, TaskSet, TaskSetBuilder};
+use proptest::prelude::*;
+
+/// Deterministic random task set over the three Table II model kinds with
+/// varied rates and priorities.
+fn random_taskset(seed: u64, n_tasks: usize) -> TaskSet {
+    let mut rng = XorShiftRng::new(seed);
+    let kinds = [DnnKind::ResNet18, DnnKind::UNet, DnnKind::InceptionV3];
+    let mut builder = TaskSetBuilder::new();
+    for _ in 0..n_tasks.max(1) {
+        let kind = kinds[(rng.next_u64() % 3) as usize];
+        let jps = 5.0 + rng.uniform(0.0, 35.0);
+        let priority = if rng.next_u64() % 3 == 0 { Priority::High } else { Priority::Low };
+        builder = builder.add_tasks(kind, 1, jps, priority);
+    }
+    builder.build()
+}
+
+/// Every baseline, as a boxed trait scheduler over `taskset`.
+fn all_baselines(taskset: &TaskSet) -> Vec<BaselineScheduler> {
+    vec![
+        SingleTenantServer::new().scheduler(taskset).expect("single-tenant builds"),
+        FifoMultiStreamServer::new(4).scheduler(taskset).expect("fifo builds"),
+        BatchingServer::new().scheduler(taskset).expect("batching builds"),
+        GsliceServer::new(2).scheduler(taskset).expect("gslice builds"),
+        GlobalEdfServer::new(4).scheduler(taskset).expect("edf builds"),
+        PriorityOnlyServer::new(4).scheduler(taskset).expect("priority-only builds"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `released == completed + rejected + outstanding` for every baseline,
+    /// on any task set at any horizon — no job is lost or double-counted by
+    /// the shared harness, whatever the queueing policy does.
+    #[test]
+    fn every_baseline_conserves_jobs(seed in 0u64..1_000_000, n_tasks in 1usize..12, horizon_ms in 60u64..220) {
+        let taskset = random_taskset(seed, n_tasks);
+        let horizon = SimTime::from_millis(horizon_ms);
+        for mut scheduler in all_baselines(&taskset) {
+            let mut arrivals = ArrivalStream::new(&taskset, horizon);
+            let released_total = ArrivalStream::new(&taskset, horizon).count();
+            let mut rejected_by_loop = Vec::new();
+            scheduler.run_span(&mut arrivals, horizon, &mut rejected_by_loop);
+            prop_assert!(rejected_by_loop.is_empty(), "a baseline refused a release");
+            let outstanding = scheduler.outstanding_jobs();
+            let outcome = scheduler.finish(horizon);
+            let total = &outcome.summary.total;
+            prop_assert_eq!(total.rejected, 0, "baselines never reject ({})", &outcome.config_label);
+            prop_assert_eq!(
+                total.released,
+                total.completed + total.rejected + outstanding,
+                "conservation violated for {}: released {} completed {} outstanding {}",
+                outcome.config_label, total.released, total.completed, outstanding
+            );
+            prop_assert_eq!(total.released, released_total, "harness lost releases");
+            prop_assert!(total.deadline_misses <= total.accepted, "misses exceed accepted jobs");
+        }
+    }
+}

@@ -39,6 +39,15 @@ fn sections() -> Vec<Box<dyn FnOnce() -> String + Send>> {
         one(daris_bench::gslice_comparison),
         one(daris_bench::cluster_scaling),
         many(daris_bench::cluster_fleets),
+        // The scheduler shoot-out (trimmed to fleets 1 and 8 here; the full
+        // 1/8/64 grid is the `scheduler_comparison` binary / COMPARISON.md).
+        many(|| {
+            daris_bench::comparison::comparison_tables(&daris_bench::comparison::comparison_grid(
+                &[1, 8],
+                1,
+                daris_bench::horizon(),
+            ))
+        }),
     ]
 }
 

@@ -1,0 +1,67 @@
+//! The DARIS-vs-baselines shoot-out: every `Scheduler` implementation in
+//! the workspace × every workload scenario (periodic, bursty, diurnal,
+//! correlated) × fleet sizes, all through the same cluster dispatcher, so
+//! row differences are policy differences.
+//!
+//! Usage:
+//!
+//! ```sh
+//! scheduler_comparison [--quick] [--threads N] [--fleets 1,8,64] [--markdown]
+//! ```
+//!
+//! * `--quick`    — CI smoke mode: fleets 1 and 2 only (combine with a short
+//!   `DARIS_HORIZON_MS` for sub-minute runs).
+//! * `--threads`  — dispatcher worker threads per cluster run (`0` uses the
+//!   machine's available parallelism; default 1). Results are byte-identical
+//!   at any thread count.
+//! * `--fleets`   — comma-separated fleet sizes (default `1,8,64`).
+//! * `--markdown` — print the grid as the `COMPARISON.md` markdown document
+//!   instead of plain tables (regenerate the committed file with
+//!   `cargo run --release --bin scheduler_comparison -- --markdown > COMPARISON.md`).
+//!
+//! Control the per-cell simulated horizon with `DARIS_HORIZON_MS`
+//! (default 1500 ms).
+
+use daris_bench::comparison::{comparison_grid, comparison_markdown, comparison_tables};
+
+fn main() {
+    let mut quick = false;
+    let mut markdown = false;
+    let mut threads = 1usize;
+    let mut fleets: Vec<usize> = vec![1, 8, 64];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| panic!("{name} requires a value"));
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--markdown" => markdown = true,
+            "--threads" => threads = daris_bench::parse_thread_count(&value("--threads")),
+            "--fleets" => {
+                let raw = value("--fleets");
+                fleets = raw
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            panic!("--fleets must be comma-separated numbers, got {raw:?}")
+                        })
+                    })
+                    .collect();
+            }
+            other => panic!("unknown argument {other:?} (see the bin docs)"),
+        }
+    }
+    if quick {
+        fleets = vec![1, 2];
+    }
+
+    let horizon = daris_bench::horizon();
+    let cells = comparison_grid(&fleets, threads, horizon);
+    if markdown {
+        print!("{}", comparison_markdown(&cells, horizon));
+    } else {
+        for table in comparison_tables(&cells) {
+            println!("{table}");
+        }
+    }
+}

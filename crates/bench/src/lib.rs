@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod comparison;
 pub mod perf;
 
 use daris_baselines::{BatchingServer, FifoMultiStreamServer, GsliceServer, SingleTenantServer};

@@ -1,8 +1,17 @@
-//! The cluster dispatcher: one DARIS scheduler per device, coordinated
+//! The cluster dispatcher: one scheduler per device — any implementation of
+//! the `daris-core` [`Scheduler`] trait, DARIS by default — coordinated
 //! through fixed-length **synchronization rounds** with the per-device
 //! simulation fanned out to a persistent worker pool in between, and the
 //! fleet partitioned into [racks](crate::ClusterConfig::racks) whose
 //! boundary work stays local between coarser rebalance epochs.
+//!
+//! The dispatcher is generic over the per-device scheduler
+//! (`ClusterDispatcher<Sch>`): [`ClusterDispatcher::new`] builds the
+//! default DARIS fleet, [`ClusterDispatcher::with_factory`] accepts a
+//! per-device constructor for anything else (the `daris-baselines` servers,
+//! most usefully), and every boundary phase — admission retry, migration,
+//! rack rebalance — speaks only the trait surface, so baselines inherit the
+//! full cluster machinery unchanged.
 //!
 //! Three workload shapes share the same round loop, each a different
 //! [`ArrivalSource`] per device: strictly periodic task sets
@@ -68,7 +77,9 @@
 use std::collections::BTreeMap;
 use std::ops::Range;
 
-use daris_core::{AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome};
+use daris_core::{
+    AblationFlags, DarisConfig, DarisScheduler, ExperimentOutcome, RunSpec, Scheduler, Workload,
+};
 use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_metrics::MetricsCollector;
 use daris_telemetry::{
@@ -83,7 +94,8 @@ use daris_workload::{
 use crate::pool::{self, DeviceCell, FleetCells};
 use crate::rack::{LoadOrder, RackDispatcher};
 use crate::{
-    place, ClusterError, ClusterSpec, ClusterSummary, Placement, PlacementStrategy, Result,
+    place, ClusterError, ClusterSpec, ClusterSummary, DeviceSpec, Placement, PlacementStrategy,
+    Result,
 };
 
 /// Upper bound on migrations per synchronization round, a guard against
@@ -219,11 +231,11 @@ impl ClusterOutcome {
 }
 
 #[derive(Debug)]
-struct DeviceRuntime {
+struct DeviceRuntime<Sch> {
     name: String,
     /// `None` for a device the placement left without tasks: it idles for
     /// the whole run (it has no scheduler to adopt guests into either).
-    scheduler: Option<DarisScheduler>,
+    scheduler: Option<Sch>,
     /// Global task index → device-local task id (placed and adopted tasks).
     local_of_global: BTreeMap<usize, TaskId>,
     /// The inverse map, indexed by local task id.
@@ -235,13 +247,37 @@ struct DeviceRuntime {
     buffer: Option<MemorySink>,
 }
 
-/// Runs a [`TaskSet`] on a fleet of devices.
+/// One device's construction context, handed to the scheduler factory of
+/// [`ClusterDispatcher::with_factory`] — everything a per-device scheduler
+/// build needs, in fleet order.
 #[derive(Debug)]
-pub struct ClusterDispatcher {
+pub struct DeviceSlot<'a> {
+    /// The device's fleet index.
+    pub index: usize,
+    /// The device's spec from the [`ClusterSpec`].
+    pub spec: &'a DeviceSpec,
+    /// The device's placed task set (device-local task ids).
+    pub taskset: &'a TaskSet,
+    /// The fleet-wide reference calibration device
+    /// ([`ClusterConfig::reference_gpu`]).
+    pub reference: &'a GpuSpec,
+    /// Handle on the device's private telemetry buffer, present iff the
+    /// cluster config carries a [`sink`](ClusterConfig::sink). Schedulers
+    /// that record telemetry should adopt it; others may drop it.
+    pub sink: Option<SinkHandle>,
+}
+
+/// Runs a [`TaskSet`] on a fleet of devices, one `Sch` scheduler per device.
+///
+/// `Sch` is any [`Scheduler`] implementation; the default is the DARIS
+/// runtime ([`ClusterDispatcher::new`]), and
+/// [`ClusterDispatcher::with_factory`] builds a fleet of anything else.
+#[derive(Debug)]
+pub struct ClusterDispatcher<Sch = DarisScheduler> {
     config: ClusterConfig,
     taskset: TaskSet,
     placement: Placement,
-    devices: Vec<DeviceRuntime>,
+    devices: Vec<DeviceRuntime<Sch>>,
     /// Accounts releases of tasks no device could take at placement time.
     unplaced: MetricsCollector,
     migrations: usize,
@@ -255,11 +291,10 @@ fn localize(mut job: Job, local: TaskId) -> Job {
 }
 
 impl ClusterDispatcher {
-    /// Places `taskset` on `cluster` and builds one scheduler per device
-    /// that received tasks. With `config.threads > 1` the (independent,
-    /// profiling-heavy) per-device scheduler builds are fanned out through
-    /// the worker-pool module; results and errors are collected in device
-    /// order.
+    /// Places `taskset` on `cluster` and builds one DARIS scheduler per
+    /// device that received tasks, via [`with_factory`](Self::with_factory)
+    /// with the default DARIS factory (per-device [`DarisConfig`] derived
+    /// from the device spec and the cluster config).
     ///
     /// # Errors
     ///
@@ -270,6 +305,49 @@ impl ClusterDispatcher {
     /// accounting prevents this for the shipped specs). With several failing
     /// devices, the error reported is the lowest-indexed one.
     pub fn new(taskset: &TaskSet, cluster: ClusterSpec, config: ClusterConfig) -> Result<Self> {
+        let window_size = config.window_size;
+        let ablation = config.ablation;
+        let hp_admission = config.hp_admission;
+        Self::with_factory(taskset, cluster, config, move |slot| {
+            let mut device_config = DarisConfig::new(slot.spec.partition)
+                .with_gpu(slot.spec.gpu.clone())
+                .with_reference_calibration(slot.reference.clone())
+                .with_window_size(window_size)
+                .with_ablation(ablation);
+            if hp_admission {
+                device_config = device_config.with_hp_admission();
+            }
+            if let Some(sink) = slot.sink {
+                device_config = device_config.with_sink(sink);
+            }
+            DarisScheduler::new(slot.taskset, device_config)
+        })
+    }
+}
+
+impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
+    /// Places `taskset` on `cluster` and builds one scheduler per device
+    /// that received tasks by calling `factory` with each device's
+    /// [`DeviceSlot`]. This is how non-DARIS fleets are assembled — e.g. a
+    /// `daris-baselines` server's `scheduler(...)` constructor per device —
+    /// while reusing placement, the round loop, retries and migration
+    /// unchanged. With `config.threads > 1` the (independent,
+    /// profiling-heavy) per-device builds are fanned out through the
+    /// worker-pool module; results and errors are collected in device order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty cluster or task set, a zero
+    /// [`sync_quantum`](ClusterConfig::sync_quantum), an infeasible device
+    /// partition, or a factory error (wrapped in
+    /// [`ClusterError::Scheduler`] with the device's name). With several
+    /// failing devices, the error reported is the lowest-indexed one.
+    pub fn with_factory(
+        taskset: &TaskSet,
+        cluster: ClusterSpec,
+        config: ClusterConfig,
+        factory: impl Fn(DeviceSlot<'_>) -> daris_core::Result<Sch> + Sync,
+    ) -> Result<Self> {
         cluster.validate()?;
         if taskset.is_empty() {
             return Err(ClusterError::EmptyTaskSet);
@@ -285,26 +363,21 @@ impl ClusterDispatcher {
             .map(|_| config.sink.as_ref().map(|_| MemorySink::unbounded()))
             .collect();
 
-        let build_one = |device: usize| -> Result<Option<DarisScheduler>> {
+        let build_one = |device: usize| -> Result<Option<Sch>> {
             let spec = &cluster.devices()[device];
             let plan = &placement.plans[device];
             if plan.taskset.is_empty() {
                 return Ok(None);
             }
-            let mut device_config = DarisConfig::new(spec.partition)
-                .with_gpu(spec.gpu.clone())
-                .with_reference_calibration(config.reference_gpu.clone())
-                .with_window_size(config.window_size)
-                .with_ablation(config.ablation);
-            if config.hp_admission {
-                device_config = device_config.with_hp_admission();
-            }
-            if let Some(buffer) = &buffers[device] {
-                device_config = device_config.with_sink(SinkHandle::new(buffer.clone()));
-            }
-            DarisScheduler::new(&plan.taskset, device_config)
-                .map(Some)
-                .map_err(|source| ClusterError::Scheduler { device: spec.name.clone(), source })
+            factory(DeviceSlot {
+                index: device,
+                spec,
+                taskset: &plan.taskset,
+                reference: &config.reference_gpu,
+                sink: buffers[device].as_ref().map(|b| SinkHandle::new(b.clone())),
+            })
+            .map(Some)
+            .map_err(|source| ClusterError::Scheduler { device: spec.name.clone(), source })
         };
 
         let n = cluster.len();
@@ -349,15 +422,54 @@ impl ClusterDispatcher {
 
     /// Simulated GPU events processed across the whole fleet so far.
     pub fn events_processed(&self) -> u64 {
-        self.devices
-            .iter()
-            .filter_map(|d| d.scheduler.as_ref())
-            .map(DarisScheduler::events_processed)
-            .sum()
+        self.devices.iter().filter_map(|d| d.scheduler.as_ref()).map(Sch::events_processed).sum()
+    }
+
+    /// Runs the workload described by a [`RunSpec`] on the fleet — the
+    /// cluster counterpart of [`Scheduler::run`], and the preferred entry
+    /// point; [`run_until`](Self::run_until),
+    /// [`run_generated`](Self::run_generated) and
+    /// [`run_replay`](Self::run_replay) are its shape-specific forms. Call
+    /// once per dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidRunSpec`] for a spec without a horizon
+    /// or a jittered periodic spec (per-task jitter generators are keyed by
+    /// device-local task ids, so a sharded fleet cannot reproduce the global
+    /// jittered release times), and [`ClusterError::Trace`] for a replay
+    /// whose trace does not fit this cluster's task set.
+    pub fn run(&mut self, spec: &RunSpec) -> Result<ClusterOutcome> {
+        let horizon = spec.horizon().ok_or_else(|| {
+            ClusterError::InvalidRunSpec("no horizon (call RunSpec::until)".into())
+        })?;
+        match spec.workload() {
+            Workload::Periodic { jitter: daris_workload::ReleaseJitter::None } => {
+                Ok(self.run_until(horizon))
+            }
+            Workload::Periodic { .. } => Err(ClusterError::InvalidRunSpec(
+                "jittered periodic releases are keyed by local task id and cannot be \
+                 reproduced across a sharded fleet"
+                    .into(),
+            )),
+            Workload::Generated(gen) => Ok(self.run_generated(gen, horizon)),
+            Workload::Replay(trace) => {
+                if horizon != trace.horizon() {
+                    return Err(ClusterError::InvalidRunSpec(
+                        "replay horizon must match the trace horizon".into(),
+                    ));
+                }
+                self.run_replay(trace)
+            }
+            _ => Err(ClusterError::InvalidRunSpec("unsupported workload shape".into())),
+        }
     }
 
     /// Runs a periodic [`TaskSet`] workload on the fleet until `horizon` and
     /// returns per-device and aggregate outcomes. Call once per dispatcher.
+    ///
+    /// *Shape-specific form* of [`run`](Self::run) — equivalent to
+    /// `run(&RunSpec::periodic().until(horizon))`.
     pub fn run_until(&mut self, horizon: SimTime) -> ClusterOutcome {
         // Releases of tasks no device could take are known a priori (arrivals
         // do not depend on simulation state); account them up front.
@@ -385,6 +497,9 @@ impl ClusterDispatcher {
     /// preserving release phases. A live generated run is therefore
     /// byte-identical to replaying [`GenSpec::generate`]'s trace of the same
     /// spec via [`run_replay`](Self::run_replay). Call once per dispatcher.
+    ///
+    /// *Shape-specific form* of [`run`](Self::run) — equivalent to
+    /// `run(&RunSpec::generated(spec).until(horizon))`.
     pub fn run_generated(&mut self, spec: &GenSpec, horizon: SimTime) -> ClusterOutcome {
         let rejected_keys: Vec<u64> =
             self.placement.rejected.iter().map(|id| id.index() as u64).collect();
@@ -417,6 +532,9 @@ impl ClusterDispatcher {
     /// sort order. Events of tasks the placement rejected are charged as
     /// rejections up front, exactly like the periodic path. Call once per
     /// dispatcher.
+    ///
+    /// *Shape-specific form* of [`run`](Self::run) — equivalent to
+    /// `run(&RunSpec::replay(trace))`.
     ///
     /// # Errors
     ///
@@ -499,7 +617,7 @@ impl ClusterDispatcher {
         let rack_of = RackDispatcher::rack_of(&racks);
         let rebalance_epoch = self.config.rebalance_epoch.max(1);
 
-        let cells: Vec<DeviceCell<S>> = self
+        let cells: Vec<DeviceCell<Sch, S>> = self
             .devices
             .iter_mut()
             .zip(streams)
@@ -716,7 +834,7 @@ impl ClusterDispatcher {
     /// mark).
     fn retry_rejections<S: ArrivalSource>(
         &mut self,
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         racks: &mut [RackDispatcher],
         rack_of: &[usize],
         rejected: Vec<(usize, Vec<Job>)>,
@@ -817,7 +935,7 @@ impl ClusterDispatcher {
     /// sitting exactly on the boundary is consumed here — dispatching right
     /// after keeps its freed stream from stranding queued stages (this is
     /// exactly what the device's own span would have done at `to`).
-    fn catch_up<S: ArrivalSource>(&self, fleet: &FleetCells<S>, device: usize, to: SimTime) {
+    fn catch_up<S: ArrivalSource>(&self, fleet: &FleetCells<Sch, S>, device: usize, to: SimTime) {
         let mut cell = fleet.cell(device);
         if let Some(scheduler) = cell.scheduler.as_mut() {
             if scheduler.now() < to {
@@ -832,7 +950,7 @@ impl ClusterDispatcher {
     /// do not fit in the device's remaining memory).
     fn local_id_on<S: ArrivalSource>(
         &mut self,
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         device: usize,
         global: usize,
     ) -> Option<TaskId> {
@@ -855,7 +973,7 @@ impl ClusterDispatcher {
     /// `(device, backlog, idle streams)` for every device of `span`, the
     /// shared input of the migration source/target selections.
     fn pressure_stats<S: ArrivalSource>(
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         span: Range<usize>,
     ) -> Vec<(usize, usize, usize)> {
         span.map(|d| {
@@ -877,17 +995,13 @@ impl ClusterDispatcher {
     /// `None` if `dst` took nothing.
     fn transfer_queued_job<S: ArrivalSource>(
         &mut self,
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         src: usize,
         dst: usize,
         now: SimTime,
     ) -> Option<(usize, u64)> {
-        let candidates: Vec<JobId> = fleet
-            .cell(src)
-            .scheduler
-            .as_ref()
-            .map(DarisScheduler::migratable_jobs)
-            .unwrap_or_default();
+        let candidates: Vec<JobId> =
+            fleet.cell(src).scheduler.as_ref().map(Sch::migratable_jobs).unwrap_or_default();
         for local_job in candidates {
             let global = self.global_of(src, local_job.task);
             let Some(dst_local) = self.local_id_on(fleet, dst, global) else { continue };
@@ -935,7 +1049,7 @@ impl ClusterDispatcher {
     /// a migration lands on are caught up to `now` first.
     fn rebalance<S: ArrivalSource>(
         &mut self,
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         span: Range<usize>,
         now: SimTime,
     ) {
@@ -979,7 +1093,7 @@ impl ClusterDispatcher {
     /// with more than one rack.
     fn cross_rack_rebalance<S: ArrivalSource>(
         &mut self,
-        fleet: &FleetCells<S>,
+        fleet: &FleetCells<Sch, S>,
         racks: &[RackDispatcher],
         rack_of: &[usize],
         now: SimTime,

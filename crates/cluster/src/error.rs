@@ -33,6 +33,11 @@ pub enum ClusterError {
     /// `ClusterConfig::sync_quantum` is zero. A zero-length round can never
     /// advance simulated time; rejected loudly instead of silently clamped.
     ZeroSyncQuantum,
+    /// A [`RunSpec`](daris_core::RunSpec) cannot be executed on a cluster
+    /// (e.g. it has no horizon, or asks for jittered releases, whose
+    /// per-task generators are keyed by *local* task id and so cannot be
+    /// reproduced faithfully across a sharded fleet).
+    InvalidRunSpec(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -49,6 +54,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Trace(source) => write!(f, "workload trace error: {source}"),
             ClusterError::ZeroSyncQuantum => {
                 write!(f, "sync_quantum must be non-zero (a zero-length round cannot advance time)")
+            }
+            ClusterError::InvalidRunSpec(reason) => {
+                write!(f, "run spec cannot be executed on a cluster: {reason}")
             }
         }
     }

@@ -72,7 +72,7 @@ mod rack;
 mod spec;
 mod summary;
 
-pub use dispatcher::{ClusterConfig, ClusterDispatcher, ClusterOutcome, DeviceOutcome};
+pub use dispatcher::{ClusterConfig, ClusterDispatcher, ClusterOutcome, DeviceOutcome, DeviceSlot};
 pub use error::ClusterError;
 pub use placement::{place, utilization_estimates, DevicePlan, Placement, PlacementStrategy};
 pub use spec::{ClusterSpec, DeviceSpec};

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::thread::Thread;
 
-use daris_core::DarisScheduler;
+use daris_core::Scheduler;
 use daris_gpu::SimTime;
 use daris_workload::{ArrivalSource, Job};
 
@@ -49,11 +49,13 @@ use daris_workload::{ArrivalSource, Job};
 const SPIN_LIMIT: u32 = 128;
 
 /// One device's run state, shared between the owning worker (span phase)
-/// and the main thread (boundary phases). The scheduler is `None` for a
-/// device the placement left idle.
+/// and the main thread (boundary phases). Generic over the per-device
+/// scheduler — anything implementing the `daris-core` [`Scheduler`] trait
+/// fans out identically. The scheduler is `None` for a device the placement
+/// left idle.
 #[derive(Debug)]
-pub(crate) struct DeviceCell<S> {
-    pub scheduler: Option<DarisScheduler>,
+pub(crate) struct DeviceCell<Sch, S> {
+    pub scheduler: Option<Sch>,
     pub stream: S,
     /// Set by the main thread's pre-round pass; consumed by the span.
     pub due: bool,
@@ -64,12 +66,12 @@ pub(crate) struct DeviceCell<S> {
 
 /// The fleet's per-device cells. Indexing is fleet device order.
 #[derive(Debug)]
-pub(crate) struct FleetCells<S> {
-    cells: Vec<Mutex<DeviceCell<S>>>,
+pub(crate) struct FleetCells<Sch, S> {
+    cells: Vec<Mutex<DeviceCell<Sch, S>>>,
 }
 
-impl<S> FleetCells<S> {
-    pub fn new(cells: Vec<DeviceCell<S>>) -> Self {
+impl<Sch, S> FleetCells<Sch, S> {
+    pub fn new(cells: Vec<DeviceCell<Sch, S>>) -> Self {
         FleetCells { cells: cells.into_iter().map(Mutex::new).collect() }
     }
 
@@ -80,12 +82,12 @@ impl<S> FleetCells<S> {
     /// Locks one device's cell. Uncontended on every path: workers only
     /// lock their own stripe during a round, the main thread only locks
     /// while workers are parked.
-    pub fn cell(&self, device: usize) -> MutexGuard<'_, DeviceCell<S>> {
+    pub fn cell(&self, device: usize) -> MutexGuard<'_, DeviceCell<Sch, S>> {
         self.cells[device].lock().expect("device cell lock poisoned")
     }
 
     /// Tears the fleet back down into plain cells (end of run).
-    pub fn into_cells(self) -> Vec<DeviceCell<S>> {
+    pub fn into_cells(self) -> Vec<DeviceCell<Sch, S>> {
         self.cells.into_iter().map(|m| m.into_inner().expect("device cell lock poisoned")).collect()
     }
 }
@@ -157,7 +159,12 @@ fn wait_until(ready: impl Fn() -> bool) {
 /// Runs one worker's fixed stripe of the published round: every due device
 /// `d ≡ w (mod workers)` spans `[its clock, until)` on its own scheduler
 /// and stream, leaving rejected releases in its cell.
-fn span_stripe<S: ArrivalSource>(fleet: &FleetCells<S>, w: usize, workers: usize, until: SimTime) {
+fn span_stripe<Sch: Scheduler, S: ArrivalSource>(
+    fleet: &FleetCells<Sch, S>,
+    w: usize,
+    workers: usize,
+    until: SimTime,
+) {
     for d in (w..fleet.len()).step_by(workers) {
         let mut cell = fleet.cell(d);
         if !cell.due {
@@ -170,7 +177,12 @@ fn span_stripe<S: ArrivalSource>(fleet: &FleetCells<S>, w: usize, workers: usize
     }
 }
 
-fn worker_loop<S: ArrivalSource>(fleet: &FleetCells<S>, ctl: &PoolCtl, w: usize, workers: usize) {
+fn worker_loop<Sch: Scheduler, S: ArrivalSource>(
+    fleet: &FleetCells<Sch, S>,
+    ctl: &PoolCtl,
+    w: usize,
+    workers: usize,
+) {
     let mut seen = 0u64;
     loop {
         wait_until(|| ctl.round.load(Ordering::Acquire) != seen);
@@ -203,8 +215,8 @@ fn worker_loop<S: ArrivalSource>(fleet: &FleetCells<S>, ctl: &PoolCtl, w: usize,
 /// caller's thread — the serial and parallel paths issue the identical
 /// per-device call sequence, which is what makes results thread-count
 /// invariant.
-pub(crate) fn drive_rounds<S: ArrivalSource + Send, R>(
-    fleet: &FleetCells<S>,
+pub(crate) fn drive_rounds<Sch: Scheduler + Send, S: ArrivalSource + Send, R>(
+    fleet: &FleetCells<Sch, S>,
     workers: usize,
     body: impl FnOnce(&mut dyn FnMut(SimTime)) -> R,
 ) -> R {
@@ -271,7 +283,7 @@ mod tests {
         }
     }
 
-    fn idle_fleet(n: usize) -> FleetCells<NoJobs> {
+    fn idle_fleet(n: usize) -> FleetCells<daris_core::DarisScheduler, NoJobs> {
         FleetCells::new(
             (0..n)
                 .map(|_| DeviceCell {

@@ -54,8 +54,10 @@ mod config;
 mod error;
 mod mret;
 mod offline;
+mod runspec;
 mod scheduler;
 mod stage_queue;
+mod traits;
 mod utilization;
 mod vdeadline;
 
@@ -64,8 +66,10 @@ pub use config::{AblationFlags, DarisConfig, GpuPartition, PartitionPolicy};
 pub use error::CoreError;
 pub use mret::MretEstimator;
 pub use offline::{assignment_by_context, populate_contexts};
+pub use runspec::{RunSpec, Workload};
 pub use scheduler::{DarisScheduler, ExperimentOutcome, MretSample, AFET_INFLATION};
 pub use stage_queue::{ReadyStage, StageQueue};
+pub use traits::Scheduler;
 pub use utilization::ContextLoad;
 pub use vdeadline::virtual_deadlines;
 

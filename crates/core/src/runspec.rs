@@ -1,0 +1,141 @@
+//! [`RunSpec`]: one builder-style description of *what to run* — a workload
+//! shape plus a horizon — consumed by every standalone and cluster entry
+//! point.
+//!
+//! Before this type, six `run_*` entry points had accreted across
+//! `daris-core` and `daris-cluster` (`run_until`, `run_with_source`,
+//! `run_trace`; cluster `run_until`, `run_generated`, `run_replay`), each
+//! hard-wiring one workload shape. They all survive as thin documented
+//! shims, but new code writes:
+//!
+//! ```
+//! use daris_core::{DarisConfig, DarisScheduler, GpuPartition, RunSpec, Scheduler};
+//! use daris_models::DnnKind;
+//! use daris_gpu::SimTime;
+//! use daris_workload::TaskSet;
+//!
+//! # fn main() -> Result<(), daris_core::CoreError> {
+//! let taskset = TaskSet::table2(DnnKind::UNet);
+//! let mut scheduler =
+//!     DarisScheduler::new(&taskset, DarisConfig::new(GpuPartition::mps(6, 2.0)))?;
+//! let spec = RunSpec::periodic().until(SimTime::from_millis(300));
+//! let outcome = scheduler.run(&spec)?;
+//! assert!(outcome.summary.throughput_jps > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Telemetry sinks stay *construction-time* configuration
+//! ([`DarisConfig::sink`](crate::DarisConfig)): device tracing must be
+//! enabled when the simulated GPU is built, so a sink cannot be attached
+//! per-run without violating the byte-identical replay guarantee.
+
+use daris_gpu::SimTime;
+use daris_workload::{GenSpec, ReleaseJitter, Trace};
+
+use crate::{CoreError, Result};
+
+/// The workload shape of a [`RunSpec`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Workload {
+    /// Strictly periodic releases from the task set's periods, optionally
+    /// jittered.
+    Periodic {
+        /// Per-release jitter applied to the periodic schedule.
+        jitter: ReleaseJitter,
+    },
+    /// Releases from a seeded generator (bursty / diurnal / correlated).
+    Generated(GenSpec),
+    /// Byte-exact replay of a recorded trace.
+    Replay(Trace),
+}
+
+/// A builder-style run description: workload + horizon.
+///
+/// Construct with [`periodic`](RunSpec::periodic),
+/// [`jittered`](RunSpec::jittered), [`generated`](RunSpec::generated) or
+/// [`replay`](RunSpec::replay), then set the horizon with
+/// [`until`](RunSpec::until). Replay specs default to the trace's own
+/// horizon.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    workload: Workload,
+    horizon: Option<SimTime>,
+}
+
+impl RunSpec {
+    /// Strictly periodic releases (the task set's periods, no jitter).
+    pub fn periodic() -> Self {
+        RunSpec { workload: Workload::Periodic { jitter: ReleaseJitter::None }, horizon: None }
+    }
+
+    /// Periodic releases with per-release jitter.
+    pub fn jittered(jitter: ReleaseJitter) -> Self {
+        RunSpec { workload: Workload::Periodic { jitter }, horizon: None }
+    }
+
+    /// Releases from a seeded generator.
+    pub fn generated(spec: GenSpec) -> Self {
+        RunSpec { workload: Workload::Generated(spec), horizon: None }
+    }
+
+    /// Byte-exact replay of `trace`. The horizon defaults to the trace's
+    /// own horizon; [`until`](RunSpec::until) may truncate it.
+    pub fn replay(trace: Trace) -> Self {
+        RunSpec { workload: Workload::Replay(trace), horizon: None }
+    }
+
+    /// Sets the horizon: releases stop there, and final accounting runs
+    /// there.
+    #[must_use]
+    pub fn until(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// The workload shape.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The explicitly set horizon, if any.
+    pub fn horizon(&self) -> Option<SimTime> {
+        match (&self.workload, self.horizon) {
+            (Workload::Replay(trace), None) => Some(trace.horizon()),
+            (_, h) => h,
+        }
+    }
+
+    /// The horizon, or [`CoreError::InvalidConfig`] when the spec does not
+    /// determine one (periodic/generated workloads need
+    /// [`until`](RunSpec::until)).
+    pub fn required_horizon(&self) -> Result<SimTime> {
+        self.horizon().ok_or_else(|| {
+            CoreError::InvalidConfig("run spec has no horizon: call RunSpec::until(..)".to_string())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_spec_requires_explicit_horizon() {
+        let spec = RunSpec::periodic();
+        assert!(spec.required_horizon().is_err());
+        let spec = spec.until(SimTime::from_millis(10));
+        assert_eq!(spec.required_horizon().unwrap(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn replay_spec_defaults_to_trace_horizon() {
+        let trace = Trace::new(SimTime::from_millis(25), daris_gpu::SimDuration::ZERO, Vec::new())
+            .expect("empty trace is valid");
+        let spec = RunSpec::replay(trace);
+        assert_eq!(spec.horizon(), Some(SimTime::from_millis(25)));
+        let truncated = spec.until(SimTime::from_millis(5));
+        assert_eq!(truncated.required_horizon().unwrap(), SimTime::from_millis(5));
+    }
+}

@@ -14,8 +14,7 @@ use daris_metrics::{ExperimentSummary, MetricsCollector};
 use daris_models::{DnnKind, ModelProfile};
 use daris_telemetry::{AdmissionTest, EventKind, SinkHandle, TelemetryEvent};
 use daris_workload::{
-    ArrivalSource, ArrivalStream, Job, JobId, Priority, TaskId, TaskSet, TaskSpec, Trace,
-    TracePlayer,
+    ArrivalSource, Job, JobId, Priority, TaskId, TaskSet, TaskSpec, Trace, TracePlayer,
 };
 
 use crate::{
@@ -194,6 +193,12 @@ impl DarisScheduler {
         &self.config
     }
 
+    /// The task set this scheduler was built over, including any adopted
+    /// guest tasks.
+    pub fn taskset(&self) -> &TaskSet {
+        &self.taskset
+    }
+
     /// Read access to the underlying simulated GPU (inspection in tests and
     /// examples).
     pub fn gpu(&self) -> &Gpu {
@@ -221,12 +226,13 @@ impl DarisScheduler {
     /// Job releases stop at the horizon; jobs still in flight at the horizon
     /// count as deadline misses if their deadline has already passed (the
     /// same accounting the paper's DMR uses).
+    ///
+    /// *Legacy shim*: new code writes
+    /// `scheduler.run(&RunSpec::periodic().until(horizon))` via the
+    /// [`Scheduler`](crate::Scheduler) trait — same loop, same result.
     pub fn run_until(&mut self, horizon: SimTime) -> ExperimentOutcome {
-        // Arrivals are pulled lazily: memory stays O(tasks) regardless of the
-        // horizon instead of materializing every release up front.
-        let taskset = self.taskset.clone();
-        let mut arrivals = ArrivalStream::new(&taskset, horizon);
-        self.run_with_source(&mut arrivals, horizon)
+        crate::Scheduler::run(self, &crate::RunSpec::periodic().until(horizon))
+            .expect("a periodic spec with a horizon cannot fail")
     }
 
     /// Runs the online phase until `horizon` pulling releases from an
@@ -239,6 +245,10 @@ impl DarisScheduler {
     /// The source's jobs must belong to this scheduler's task set (same task
     /// ids); the convenient way to guarantee that is to build the source
     /// over the same [`TaskSet`] the scheduler was constructed with.
+    ///
+    /// *Legacy shim*: prefer [`RunSpec`](crate::RunSpec) +
+    /// [`Scheduler::run`](crate::Scheduler::run) for the standard workload
+    /// shapes; this remains for custom [`ArrivalSource`] implementations.
     pub fn run_with_source(
         &mut self,
         arrivals: &mut impl ArrivalSource,
@@ -261,6 +271,10 @@ impl DarisScheduler {
     ///
     /// Returns [`CoreError::Trace`] when the trace refers to tasks this
     /// scheduler's set does not contain.
+    ///
+    /// *Legacy shim*: new code writes
+    /// `scheduler.run(&RunSpec::replay(trace))` via the
+    /// [`Scheduler`](crate::Scheduler) trait.
     pub fn run_trace(&mut self, trace: &Trace) -> Result<ExperimentOutcome> {
         let taskset = self.taskset.clone();
         let mut player = TracePlayer::new(&taskset, trace).map_err(CoreError::Trace)?;
@@ -811,6 +825,87 @@ impl DarisScheduler {
     }
 }
 
+/// The [`Scheduler`](crate::Scheduler) trait impl: pure delegation to the
+/// inherent methods above, so trait-driven and direct callers execute the
+/// *identical* code path — the property the cross-crate differential suite
+/// pins byte-for-byte. `run_span` delegates to the inherent loop rather than
+/// taking the trait's (textually identical) default so there is exactly one
+/// loop body in this crate.
+impl crate::Scheduler for DarisScheduler {
+    fn now(&self) -> SimTime {
+        DarisScheduler::now(self)
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        DarisScheduler::next_event_time(self)
+    }
+
+    fn advance_to(&mut self, target: SimTime) {
+        DarisScheduler::advance_to(self, target);
+    }
+
+    fn dispatch_ready(&mut self) {
+        DarisScheduler::dispatch_ready(self);
+    }
+
+    fn try_release_job(&mut self, job: Job) -> bool {
+        DarisScheduler::try_release_job(self, job)
+    }
+
+    fn reject_job(&mut self, job: &Job) {
+        DarisScheduler::reject_job(self, job);
+    }
+
+    fn would_admit(&self, task: TaskId, priority: Priority) -> bool {
+        DarisScheduler::would_admit(self, task, priority)
+    }
+
+    fn adopt_task(&mut self, task: &TaskSpec) -> Result<TaskId> {
+        DarisScheduler::adopt_task(self, task)
+    }
+
+    fn withdraw_queued_job(&mut self, job: JobId) -> Option<Job> {
+        DarisScheduler::withdraw_queued_job(self, job)
+    }
+
+    fn migratable_jobs(&self) -> Vec<JobId> {
+        DarisScheduler::migratable_jobs(self)
+    }
+
+    fn queue_backlog(&self) -> usize {
+        DarisScheduler::queue_backlog(self)
+    }
+
+    fn idle_stream_count(&self) -> usize {
+        DarisScheduler::idle_stream_count(self)
+    }
+
+    fn active_load_fraction(&self) -> f64 {
+        DarisScheduler::active_load_fraction(self)
+    }
+
+    fn events_processed(&self) -> u64 {
+        DarisScheduler::events_processed(self)
+    }
+
+    fn taskset(&self) -> &TaskSet {
+        DarisScheduler::taskset(self)
+    }
+
+    fn finish(&mut self, horizon: SimTime) -> ExperimentOutcome {
+        DarisScheduler::finish(self, horizon)
+    }
+
+    fn run_span(
+        &mut self,
+        mut arrivals: &mut dyn ArrivalSource,
+        until: SimTime,
+        rejected: &mut Vec<Job>,
+    ) {
+        DarisScheduler::run_span(self, &mut arrivals, until, rejected);
+    }
+}
+
 /// Per-stage MRET seeds for a task, respecting the staging ablation (a job
 /// dispatched as a whole unit has a single "stage" whose seed is the whole
 /// AFET).
@@ -831,7 +926,7 @@ fn effective_stage_seeds(
 mod tests {
     use super::*;
     use crate::GpuPartition;
-    use daris_workload::{ArrivalPlan, ReleaseJitter};
+    use daris_workload::{ArrivalPlan, ArrivalStream, ReleaseJitter};
 
     fn short_run(config: DarisConfig, taskset: &TaskSet, millis: u64) -> ExperimentOutcome {
         let mut scheduler = DarisScheduler::new(taskset, config).expect("scheduler builds");

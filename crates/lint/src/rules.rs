@@ -85,7 +85,8 @@ pub const RULES: &[RuleInfo] = &[
         id: RuleId::D001,
         title: "unordered-container iteration (HashMap/HashSet/RandomState iterated, drained, \
                 retained, or folded; keyed O(1) lookup stays legal)",
-        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry (src + tests)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry, baselines (src + \
+                tests)",
     },
     RuleInfo {
         id: RuleId::D002,
@@ -96,18 +97,21 @@ pub const RULES: &[RuleInfo] = &[
         id: RuleId::D003,
         title: "float accumulation over an unordered source (.sum/.fold/product or += over a \
                 hash-container iterator)",
-        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry (src + tests)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry, baselines (src + \
+                tests)",
     },
     RuleInfo {
         id: RuleId::D004,
         title: "thread spawn outside the sanctioned worker-pool module \
                 (crates/cluster/src/pool.rs)",
-        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry (src + tests)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry, baselines (src + \
+                tests)",
     },
     RuleInfo {
         id: RuleId::D005,
         title: "lossy float<->int `as` cast in sim-time arithmetic",
-        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry (src + tests)",
+        scope: "sim crates: gpu, core, cluster, workload, metrics, telemetry, baselines (src + \
+                tests)",
     },
     RuleInfo {
         id: RuleId::D006,
@@ -117,7 +121,8 @@ pub const RULES: &[RuleInfo] = &[
 ];
 
 /// Crates whose simulation results feed the byte-identical guarantee.
-const SIM_CRATES: &[&str] = &["gpu", "core", "cluster", "workload", "metrics", "telemetry"];
+const SIM_CRATES: &[&str] =
+    &["gpu", "core", "cluster", "workload", "metrics", "telemetry", "baselines"];
 
 /// The modules allowed to spawn threads: the cluster crate's deterministic
 /// worker pool (fixed device->worker assignment, spin/park round protocol,

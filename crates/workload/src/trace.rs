@@ -539,7 +539,11 @@ impl<S: ArrivalSource> ArrivalSource for TraceRecorder<S> {
     }
 }
 
-impl<S: ArrivalSource> ArrivalSource for &mut S {
+/// Forwarding impl: a `&mut S` — including `&mut dyn ArrivalSource` — is
+/// itself a source, which lets trait-object run loops (the `Scheduler`
+/// trait in `daris-core` takes `&mut dyn ArrivalSource`) reuse code written
+/// against `impl ArrivalSource`.
+impl<S: ArrivalSource + ?Sized> ArrivalSource for &mut S {
     fn next_release(&self) -> Option<SimTime> {
         (**self).next_release()
     }
