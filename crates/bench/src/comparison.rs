@@ -24,7 +24,9 @@ use daris_cluster::{
 use daris_core::{CoreError, GpuPartition, RunSpec};
 use daris_gpu::{GpuSpec, SimTime};
 use daris_metrics::report::{fmt_num, fmt_pct, Table};
-use daris_workload::{BurstyConfig, CorrelatedConfig, DiurnalConfig, GenSpec, TaskSet};
+use daris_workload::{
+    BurstyConfig, CorrelatedConfig, DiurnalConfig, GenSpec, LoadDetectorConfig, TaskSet,
+};
 
 use crate::cluster_taskset_scaled;
 
@@ -38,6 +40,12 @@ const PARALLELISM: u32 = 6;
 pub enum Contender {
     /// The full DARIS runtime (MPS 6×1 OS6, admission, staging, MRET).
     Daris,
+    /// DARIS with the *static* HP admission test always on (Overload+HPA).
+    DarisHpa,
+    /// DARIS with the burst-triggered adaptive HPA: the admission test
+    /// engages only while the windowed arrival-rate detector reports a
+    /// burst in progress, and disengages when the rate calms.
+    DarisAdaptive,
     /// Global EDF over whole jobs — deadline-aware, no stage preemption.
     GlobalEdf,
     /// Strict class priority, FIFO within a class, no admission.
@@ -55,9 +63,11 @@ pub enum Contender {
 impl Contender {
     /// Every contender, in report order (DARIS first, then deadline- or
     /// priority-aware baselines, then the throughput-oriented ones).
-    pub fn all() -> [Contender; 7] {
+    pub fn all() -> [Contender; 9] {
         [
             Contender::Daris,
+            Contender::DarisHpa,
+            Contender::DarisAdaptive,
             Contender::GlobalEdf,
             Contender::PriorityOnly,
             Contender::FifoMultiStream,
@@ -71,6 +81,8 @@ impl Contender {
     pub fn label(self) -> &'static str {
         match self {
             Contender::Daris => "DARIS",
+            Contender::DarisHpa => "DARIS+HPA",
+            Contender::DarisAdaptive => "DARIS-adaptive",
             Contender::GlobalEdf => "GlobalEDF",
             Contender::PriorityOnly => "PriorityOnly",
             Contender::FifoMultiStream => "FIFO",
@@ -90,7 +102,9 @@ impl Contender {
         let gpu = slot.spec.gpu.clone();
         let reference = slot.reference.clone();
         match self {
-            Contender::Daris => unreachable!("DARIS uses ClusterDispatcher::new"),
+            Contender::Daris | Contender::DarisHpa | Contender::DarisAdaptive => {
+                unreachable!("DARIS variants use ClusterDispatcher::new")
+            }
             Contender::GlobalEdf => GlobalEdfServer::new(PARALLELISM)
                 .with_gpu(gpu)
                 .with_calibration(reference)
@@ -239,8 +253,16 @@ fn run_fleet(
     spec: &RunSpec,
 ) -> ClusterOutcome {
     match contender {
-        Contender::Daris => {
-            ClusterDispatcher::new(taskset, fleet_of(devices), cluster_config(threads))
+        Contender::Daris | Contender::DarisHpa | Contender::DarisAdaptive => {
+            let mut config = cluster_config(threads);
+            match contender {
+                Contender::DarisHpa => config.hp_admission = true,
+                Contender::DarisAdaptive => {
+                    config.adaptive_hpa = Some(LoadDetectorConfig::default());
+                }
+                _ => {}
+            }
+            ClusterDispatcher::new(taskset, fleet_of(devices), config)
                 .expect("DARIS fleet builds")
                 .run(spec)
                 .expect("grid run spec is cluster-feasible")
@@ -367,19 +389,21 @@ mod tests {
     fn grid_covers_every_combination_in_fixed_order() {
         let horizon = SimTime::from_millis(crate::horizon_capped_ms(80));
         let cells = comparison_grid(&[1, 2], 1, horizon);
-        assert_eq!(cells.len(), 7 * 4 * 2);
+        assert_eq!(cells.len(), 9 * 4 * 2);
         // Fixed order: fleet size outermost, then scenario, then contender.
         assert_eq!(cells[0].devices, 1);
         assert_eq!(cells[0].scheduler, "DARIS");
         assert_eq!(cells[0].scenario, "periodic");
-        assert_eq!(cells[7].scenario, "bursty");
-        assert_eq!(cells[28].devices, 2);
+        assert_eq!(cells[1].scheduler, "DARIS+HPA");
+        assert_eq!(cells[2].scheduler, "DARIS-adaptive");
+        assert_eq!(cells[9].scenario, "bursty");
+        assert_eq!(cells[36].devices, 2);
         // Every scheduler completes work on the periodic scenario.
         for cell in cells.iter().filter(|c| c.scenario == "periodic") {
             assert!(cell.jps > 0.0, "{} completed nothing", cell.scheduler);
         }
         // Baselines have no admission control, so they reject nothing.
-        for cell in cells.iter().filter(|c| c.scheduler != "DARIS") {
+        for cell in cells.iter().filter(|c| !c.scheduler.starts_with("DARIS")) {
             assert_eq!(cell.rejected, 0, "{} rejected jobs", cell.scheduler);
         }
         let tables = comparison_tables(&cells);

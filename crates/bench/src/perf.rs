@@ -6,8 +6,11 @@
 //! single-device `reproduce_all`-style experiments, the classic
 //! `cluster_scaling` fixed-workload sweep at 1/2/4/8 devices, the wide
 //! fleet sweeps (16/64 homogeneous devices and a 64-device heterogeneous
-//! a100/h100/orin mix, workload scaled with the fleet), and the rack-scale
-//! sweeps (256 devices flat, 1024 devices in 16 racks). When a harness run is
+//! a100/h100/orin mix, workload scaled with the fleet), the rack-scale
+//! sweeps (256 devices flat, 1024 devices in 16 racks), and the adaptive
+//! control-plane twins (an 8-device fleet under coherent diurnal load, static
+//! vs the full burst-HPA + elastic-quantum + autoscaling configuration, so
+//! the trajectory pins the controllers' overhead). When a harness run is
 //! given `threads > 1`, each wide sweep is timed twice — serial and fanned
 //! out to the dispatcher's worker pool — so the artifact records the
 //! serial-vs-parallel speedup *and* the (identical) completed-job counts that
@@ -20,12 +23,15 @@
 
 use std::time::Instant;
 
-use daris_cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStrategy};
+use daris_cluster::{
+    AutoscaleConfig, ClusterConfig, ClusterDispatcher, ClusterSpec, ElasticQuantum,
+    PlacementStrategy,
+};
 use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
-use daris_gpu::{GpuSpec, SimTime};
+use daris_gpu::{GpuSpec, SimDuration, SimTime};
 use daris_models::DnnKind;
 use daris_telemetry::{MemorySink, SinkHandle, WallClockProfiler};
-use daris_workload::{BurstyConfig, GenSpec, TaskSet};
+use daris_workload::{BurstyConfig, DiurnalConfig, GenSpec, LoadDetectorConfig, TaskSet};
 
 use crate::{cluster_taskset, cluster_taskset_scaled};
 
@@ -242,6 +248,54 @@ fn telemetry_section(horizon: SimTime, sections: &mut Vec<SectionResult>) -> Vec
         .collect()
 }
 
+/// The adaptive-control-plane sections: an 8-device homogeneous fleet under a
+/// *coherent* diurnal workload (`phase_spread: 0.0`, so the fleet-wide rate
+/// actually swings), timed twice — static configuration and the full control
+/// plane (burst-triggered HPA + elastic sync quantum + device autoscaling).
+/// The twin rows pin the wall-clock cost of the controllers: the adaptive run
+/// re-evaluates the detector, quantum, and autoscaler at round boundaries and
+/// re-places queued jobs through the migration path on drains, so its
+/// events/sec lands in the trajectory right next to the static shape.
+fn adaptive_sections(horizon: SimTime, sections: &mut Vec<SectionResult>) {
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let spec = GenSpec::Diurnal(DiurnalConfig {
+        amplitude: 0.9,
+        cycle: SimDuration::from_millis(100),
+        phase_spread: 0.0,
+        ..DiurnalConfig::default()
+    });
+    let fleet = || ClusterSpec::homogeneous(8, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+    let configs: [(&str, ClusterConfig); 2] = [
+        ("cluster_diurnal_8dev_static", ClusterConfig::default()),
+        (
+            "cluster_diurnal_8dev_adaptive",
+            ClusterConfig {
+                adaptive_hpa: Some(LoadDetectorConfig::default()),
+                elastic_quantum: Some(ElasticQuantum::default()),
+                autoscale: Some(AutoscaleConfig {
+                    min_devices: 2,
+                    scale_up_ratio: 0.4,
+                    scale_down_ratio: 0.2,
+                    epoch: 4,
+                }),
+                ..ClusterConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        sections.push(time_section(name, || {
+            let mut dispatcher = ClusterDispatcher::new(&taskset, fleet(), config)
+                .expect("valid perf cluster configuration");
+            let outcome = dispatcher.run_generated(&spec, horizon);
+            (
+                dispatcher.events_processed(),
+                outcome.summary.total.completed as u64,
+                outcome.summary.high.deadline_miss_rate,
+            )
+        }));
+    }
+}
+
 fn single_bursty_section(
     name: &str,
     taskset: &TaskSet,
@@ -367,6 +421,7 @@ pub fn run_perf(label: &str, horizon: SimTime, threads: usize) -> PerfRun {
     ];
     wide_sections(threads, horizon, &mut sections);
     trace_sections(horizon, &mut sections);
+    adaptive_sections(horizon, &mut sections);
     let round_phases = telemetry_section(horizon, &mut sections);
     PerfRun {
         label: label.to_owned(),

@@ -87,15 +87,15 @@ use daris_telemetry::{
     CLUSTER_DEVICE, RACK_DEVICE_BASE,
 };
 use daris_workload::{
-    ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, JobId, TaskId, TaskSet, Trace,
-    TraceError, TraceEvent, TracePlayer,
+    ArrivalSource, ArrivalStream, GenSpec, GeneratedStream, Job, JobId, LoadDetectorConfig,
+    ReleaseJitter, TaskId, TaskSet, Trace, TraceError, TraceEvent, TracePlayer,
 };
 
 use crate::pool::{self, DeviceCell, FleetCells};
 use crate::rack::{LoadOrder, RackDispatcher};
 use crate::{
-    place, ClusterError, ClusterSpec, ClusterSummary, DeviceSpec, Placement, PlacementStrategy,
-    Result,
+    place, AutoscaleConfig, ClusterError, ClusterSpec, ClusterSummary, DeviceSpec, ElasticQuantum,
+    Placement, PlacementStrategy, Result,
 };
 
 /// Upper bound on migrations per synchronization round, a guard against
@@ -157,6 +157,33 @@ pub struct ClusterConfig {
     /// O(fleet). `usize::MAX` restores exhaustive retries; `0` disables
     /// retries entirely (like `cluster_admission: false`).
     pub retry_fanout: usize,
+    /// Load-elastic bounds for the synchronization quantum. When set, every
+    /// round boundary recomputes the *next* round's length from the fleet's
+    /// mean active load (a loaded fleet synchronizes often, an idle fleet
+    /// strides long rounds); the static [`sync_quantum`](Self::sync_quantum)
+    /// — clamped into the bounds — seeds the first round. Quantum changes
+    /// apply only at round boundaries, so determinism is untouched: the
+    /// round sequence is a pure function of simulated state. `None` (the
+    /// default) keeps the quantum fixed.
+    pub elastic_quantum: Option<ElasticQuantum>,
+    /// Device join/leave autoscaling. When set, the dispatcher drains
+    /// devices out of the fleet under sustained low load and rejoins them
+    /// under high load, evaluated every [`AutoscaleConfig::epoch`] rounds. A
+    /// drained device's pending releases are redirected through the
+    /// rack-local retry path and its queued-unstarted jobs re-placed through
+    /// the migration path, so autoscaling requires
+    /// [`cluster_admission`](Self::cluster_admission) with a non-zero
+    /// [`retry_fanout`](Self::retry_fanout) — rejected at construction
+    /// otherwise. `None` (the default) keeps every device online.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Burst-triggered HP admission for every device scheduler (the
+    /// adaptive alternative to the static [`hp_admission`](Self::hp_admission)
+    /// flag, which wins when both are set): each device runs a windowed
+    /// arrival-rate detector over its own release stream and applies the
+    /// Overload+HPA admission test to high-priority jobs only while a burst
+    /// is in progress. Forwarded to the default DARIS factory; custom
+    /// factories read it from their captured config themselves.
+    pub adaptive_hpa: Option<LoadDetectorConfig>,
     /// Fleet-wide telemetry sink. Each device scheduler records into a
     /// private per-device buffer during its (possibly parallel) span; the
     /// dispatcher merges the buffers into this sink at round boundaries in
@@ -189,6 +216,9 @@ impl Default for ClusterConfig {
             rebalance_epoch: 8,
             reference_retry_scan: false,
             retry_fanout: 4,
+            elastic_quantum: None,
+            autoscale: None,
+            adaptive_hpa: None,
             sink: None,
             profiler: None,
         }
@@ -308,6 +338,7 @@ impl ClusterDispatcher {
         let window_size = config.window_size;
         let ablation = config.ablation;
         let hp_admission = config.hp_admission;
+        let adaptive_hpa = config.adaptive_hpa;
         Self::with_factory(taskset, cluster, config, move |slot| {
             let mut device_config = DarisConfig::new(slot.spec.partition)
                 .with_gpu(slot.spec.gpu.clone())
@@ -316,6 +347,9 @@ impl ClusterDispatcher {
                 .with_ablation(ablation);
             if hp_admission {
                 device_config = device_config.with_hp_admission();
+            }
+            if let Some(detector) = adaptive_hpa {
+                device_config = device_config.with_adaptive_hpa(detector);
             }
             if let Some(sink) = slot.sink {
                 device_config = device_config.with_sink(sink);
@@ -354,6 +388,31 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
         }
         if config.sync_quantum.is_zero() {
             return Err(ClusterError::ZeroSyncQuantum);
+        }
+        if let Some(elastic) = &config.elastic_quantum {
+            elastic.validate()?;
+        }
+        if let Some(autoscale) = &config.autoscale {
+            autoscale.validate()?;
+            if !config.cluster_admission || config.retry_fanout == 0 {
+                return Err(ClusterError::InvalidAdaptiveConfig(
+                    "autoscaling redirects drained devices' releases through the admission \
+                     retry path; it requires cluster_admission with retry_fanout > 0"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(detector) = &config.adaptive_hpa {
+            if detector.window.is_zero() {
+                return Err(ClusterError::InvalidAdaptiveConfig(
+                    "adaptive-HPA detector window must be non-zero".into(),
+                ));
+            }
+            if !(detector.calm_ratio > 0.0 && detector.calm_ratio <= detector.burst_ratio) {
+                return Err(ClusterError::InvalidAdaptiveConfig(
+                    "adaptive-HPA thresholds must satisfy 0 < calm_ratio <= burst_ratio".into(),
+                ));
+            }
         }
         let placement = place(taskset, &cluster, config.strategy, &config.reference_gpu);
 
@@ -428,30 +487,25 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
     /// Runs the workload described by a [`RunSpec`] on the fleet — the
     /// cluster counterpart of [`Scheduler::run`], and the preferred entry
     /// point; [`run_until`](Self::run_until),
+    /// [`run_jittered`](Self::run_jittered),
     /// [`run_generated`](Self::run_generated) and
     /// [`run_replay`](Self::run_replay) are its shape-specific forms. Call
     /// once per dispatcher.
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::InvalidRunSpec`] for a spec without a horizon
-    /// or a jittered periodic spec (per-task jitter generators are keyed by
-    /// device-local task ids, so a sharded fleet cannot reproduce the global
-    /// jittered release times), and [`ClusterError::Trace`] for a replay
-    /// whose trace does not fit this cluster's task set.
+    /// Returns [`ClusterError::InvalidRunSpec`] for a spec without a
+    /// horizon, a replay whose horizon does not match its trace, or a
+    /// workload shape the cluster does not implement (named in the error),
+    /// and [`ClusterError::Trace`] for a replay whose trace does not fit
+    /// this cluster's task set.
     pub fn run(&mut self, spec: &RunSpec) -> Result<ClusterOutcome> {
         let horizon = spec.horizon().ok_or_else(|| {
             ClusterError::InvalidRunSpec("no horizon (call RunSpec::until)".into())
         })?;
         match spec.workload() {
-            Workload::Periodic { jitter: daris_workload::ReleaseJitter::None } => {
-                Ok(self.run_until(horizon))
-            }
-            Workload::Periodic { .. } => Err(ClusterError::InvalidRunSpec(
-                "jittered periodic releases are keyed by local task id and cannot be \
-                 reproduced across a sharded fleet"
-                    .into(),
-            )),
+            Workload::Periodic { jitter: ReleaseJitter::None } => Ok(self.run_until(horizon)),
+            Workload::Periodic { jitter } => Ok(self.run_jittered(*jitter, horizon)),
             Workload::Generated(gen) => Ok(self.run_generated(gen, horizon)),
             Workload::Replay(trace) => {
                 if horizon != trace.horizon() {
@@ -461,7 +515,11 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                 }
                 self.run_replay(trace)
             }
-            _ => Err(ClusterError::InvalidRunSpec("unsupported workload shape".into())),
+            // `Workload` is non-exhaustive: name the variant a future shape
+            // arrives as instead of a bare "unsupported".
+            other => {
+                Err(ClusterError::InvalidRunSpec(format!("unsupported workload shape: {other:?}")))
+            }
         }
     }
 
@@ -486,6 +544,45 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
             self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
         let streams: Vec<ArrivalStream<'_>> =
             device_tasksets.iter().map(|ts| ArrivalStream::new(ts, horizon)).collect();
+        self.drive(streams, horizon)
+    }
+
+    /// Runs a jittered periodic [`TaskSet`] workload on the fleet until
+    /// `horizon`. Each device draws its placed tasks' release delays
+    /// locally, with every jitter stream keyed by the task's **global**
+    /// index ([`ArrivalStream::with_jitter_keyed`]), so the per-device
+    /// streams together reproduce exactly the delays a single device would
+    /// draw — the jitter analogue of `TaskSet::preserving_phases` preserving
+    /// release phases, and the fix for the old blanket rejection of
+    /// jittered specs (whose per-task generators were keyed by device-local
+    /// ids). Byte-identical at any thread count and any placement, like
+    /// every other shape. Call once per dispatcher.
+    ///
+    /// *Shape-specific form* of [`run`](Self::run) — equivalent to
+    /// `run(&RunSpec::jittered(jitter).until(horizon))`.
+    pub fn run_jittered(&mut self, jitter: ReleaseJitter, horizon: SimTime) -> ClusterOutcome {
+        let rejected_keys: Vec<u64> =
+            self.placement.rejected.iter().map(|id| id.index() as u64).collect();
+        let unplaced_tasks = self.unplaced_taskset();
+        for job in
+            ArrivalStream::with_jitter_keyed(&unplaced_tasks, horizon, jitter, &rejected_keys)
+        {
+            self.unplaced.record_rejection(&job);
+        }
+
+        let device_tasksets: Vec<TaskSet> =
+            self.placement.plans.iter().map(|p| p.taskset.clone()).collect();
+        let device_keys: Vec<Vec<u64>> = self
+            .placement
+            .plans
+            .iter()
+            .map(|p| p.task_indices.iter().map(|&g| g as u64).collect())
+            .collect();
+        let streams: Vec<ArrivalStream<'_>> = device_tasksets
+            .iter()
+            .zip(&device_keys)
+            .map(|(ts, keys)| ArrivalStream::with_jitter_keyed(ts, horizon, jitter, keys))
+            .collect();
         self.drive(streams, horizon)
     }
 
@@ -610,8 +707,16 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
         streams: Vec<S>,
         horizon: SimTime,
     ) -> ClusterOutcome {
-        let quantum = self.config.sync_quantum;
         let n = self.devices.len();
+        let elastic = self.config.elastic_quantum;
+        let autoscale = self.config.autoscale;
+        // The quantum is a round-boundary variable: the elastic bounds clamp
+        // the static seed and every boundary may recompute it, but a
+        // published round always runs to its published end.
+        let mut quantum = match elastic {
+            Some(bounds) => bounds.clamp(self.config.sync_quantum),
+            None => self.config.sync_quantum,
+        };
         let workers = self.config.threads.max(1).min(n.max(1));
         let mut racks = RackDispatcher::layout(n, self.config.racks);
         let rack_of = RackDispatcher::rack_of(&racks);
@@ -634,6 +739,13 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
             let mut t0 = SimTime::ZERO;
             let mut round: u64 = 0;
             let mut spans: Vec<(usize, SimTime)> = Vec::with_capacity(n);
+            // Fleet membership under autoscaling; every device starts online.
+            let mut online: Vec<bool> = vec![true; n];
+            // Jobs charged as rejections since the last autoscale
+            // evaluation: the fleet's shed-work pressure. Served load alone
+            // under-reads demand once admission starts shedding work, so
+            // shedding forces a rejoin regardless of the load band.
+            let mut shed_since_eval: u64 = 0;
             while t0 < horizon {
                 let t1 = t0.saturating_add(quantum).min(horizon);
 
@@ -645,8 +757,25 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                 // instead of scanning the fleet horizon/quantum more times.
                 spans.clear();
                 let mut drained = true;
-                for d in 0..n {
+                let mut redirected: Vec<(usize, Vec<Job>)> = Vec::new();
+                for (d, &is_online) in online.iter().enumerate() {
                     let mut cell = fleet.cell(d);
+                    if !is_online {
+                        // An offline device receives no new work: pull its
+                        // stream's due releases *before* the span phase (a
+                        // due span would consume them) and hand them to the
+                        // boundary retry machinery below.
+                        let mut pulled = Vec::new();
+                        while cell.stream.next_release().is_some_and(|r| r < t1) {
+                            match cell.stream.next_job() {
+                                Some(job) => pulled.push(job),
+                                None => break,
+                            }
+                        }
+                        if !pulled.is_empty() {
+                            redirected.push((d, pulled));
+                        }
+                    }
                     let next_release = cell.stream.next_release();
                     let Some(scheduler) = cell.scheduler.as_ref() else {
                         drained = drained && next_release.is_none();
@@ -654,8 +783,11 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                     };
                     let next_event = scheduler.next_event_time();
                     drained = drained && next_release.is_none() && next_event.is_none();
-                    let due =
-                        next_event.is_some_and(|t| t < t1) || next_release.is_some_and(|r| r < t1);
+                    // An offline device still spans its own *events* — jobs
+                    // it already holds finish where they started — it just
+                    // sees no new releases.
+                    let due = next_event.is_some_and(|t| t < t1)
+                        || (is_online && next_release.is_some_and(|r| r < t1));
                     if due {
                         spans.push((d, scheduler.now()));
                     }
@@ -677,6 +809,17 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                         rejected.push((d, std::mem::take(&mut cell.rejected)));
                     }
                 }
+                if !redirected.is_empty() {
+                    // Fold the offline devices' redirected releases in,
+                    // keeping ascending device order; they ride the same
+                    // retry path as span rejections, with the offline device
+                    // as the charged home.
+                    let mut merged: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
+                    for (d, jobs) in redirected.into_iter().chain(rejected) {
+                        merged.entry(d).or_default().extend(jobs);
+                    }
+                    rejected = merged.into_iter().collect();
+                }
                 self.profile_end(RoundPhase::Span);
                 for (d, from) in &spans {
                     let (from, d) = (*from, *d as u32);
@@ -690,7 +833,9 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                 });
 
                 self.profile_start(RoundPhase::Retry);
-                let attempts = self.retry_rejections(&fleet, &mut racks, &rack_of, rejected, t1);
+                let (attempts, charged) =
+                    self.retry_rejections(&fleet, &mut racks, &rack_of, &online, rejected, t1);
+                shed_since_eval += charged;
                 self.profile_end(RoundPhase::Retry);
                 self.emit(CLUSTER_DEVICE, t1, || EventKind::PhaseMark {
                     round,
@@ -703,10 +848,10 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                 if self.config.migration {
                     let spans: Vec<_> = racks.iter().map(|rack| rack.span.clone()).collect();
                     for span in spans {
-                        self.rebalance(&fleet, span, t1);
+                        self.rebalance(&fleet, span, &online, t1);
                     }
                     if racks.len() > 1 && (round + 1) % rebalance_epoch == 0 {
-                        self.cross_rack_rebalance(&fleet, &racks, &rack_of, t1, round);
+                        self.cross_rack_rebalance(&fleet, &racks, &rack_of, &online, t1, round);
                     }
                 }
                 self.profile_end(RoundPhase::Migration);
@@ -725,6 +870,31 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                     phase: RoundPhase::Merge,
                     detail: merged,
                 });
+
+                // Adaptive control, evaluated strictly at the boundary: both
+                // knobs read the same mean-load sample of the fleet's
+                // simulated state, so the decisions are as thread-count
+                // invariant as everything else in the round.
+                if elastic.is_some() || autoscale.is_some() {
+                    let load = Self::mean_online_load(&fleet, &online);
+                    if let Some(auto) = autoscale {
+                        if (round + 1) % auto.epoch.max(1) == 0 {
+                            let shed = std::mem::take(&mut shed_since_eval);
+                            self.autoscale_step(&fleet, &mut online, load, shed, round, t1);
+                        }
+                    }
+                    if let Some(bounds) = elastic {
+                        let next = bounds.quantum_for(load);
+                        if next != quantum {
+                            quantum = next;
+                            self.emit(CLUSTER_DEVICE, t1, || EventKind::QuantumChanged {
+                                round,
+                                quantum: next,
+                                load,
+                            });
+                        }
+                    }
+                }
 
                 round += 1;
                 t0 = t1;
@@ -830,26 +1000,32 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
     /// instead of an O(rack) rescan; with
     /// [`ClusterConfig::reference_retry_scan`] the old rescan runs instead,
     /// and a debug assertion pins the two paths against each other. Returns
-    /// the number of retry offers made (for the round's telemetry phase
-    /// mark).
+    /// `(retry offers made, jobs charged as rejections)` — the first feeds
+    /// the round's telemetry phase mark, the second the autoscaler's
+    /// shed-work pressure signal.
     fn retry_rejections<S: ArrivalSource>(
         &mut self,
         fleet: &FleetCells<Sch, S>,
         racks: &mut [RackDispatcher],
         rack_of: &[usize],
+        online: &[bool],
         rejected: Vec<(usize, Vec<Job>)>,
         now: SimTime,
-    ) -> u64 {
+    ) -> (u64, u64) {
         let mut attempts = 0u64;
+        let mut charged = 0u64;
         if rejected.is_empty() {
-            return 0;
+            return (0, 0);
         }
         let retrying = self.config.cluster_admission && self.config.retry_fanout > 0;
+        // Offline devices never show up as retry candidates (they receive no
+        // new work); they can still be the charged home of a rejection.
         let fresh_loads = |span: Range<usize>| -> Vec<(usize, f64)> {
-            span.filter_map(|d| {
-                fleet.cell(d).scheduler.as_ref().map(|s| (d, s.active_load_fraction()))
-            })
-            .collect()
+            span.filter(|&d| online[d])
+                .filter_map(|d| {
+                    fleet.cell(d).scheduler.as_ref().map(|s| (d, s.active_load_fraction()))
+                })
+                .collect()
         };
         if retrying && !self.config.reference_retry_scan {
             // Rebuild each retrying rack's ordering once for the phase;
@@ -916,6 +1092,7 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                     }
                 }
                 if !admitted {
+                    charged += 1;
                     fleet
                         .cell(home)
                         .scheduler
@@ -925,7 +1102,7 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
                 }
             }
         }
-        attempts
+        (attempts, charged)
     }
 
     /// Fast-forwards a trailing device's clock to `to` (a no-op for devices
@@ -1051,6 +1228,7 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
         &mut self,
         fleet: &FleetCells<Sch, S>,
         span: Range<usize>,
+        online: &[bool],
         now: SimTime,
     ) {
         for _ in 0..MAX_MIGRATIONS_PER_STEP {
@@ -1063,9 +1241,11 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
             else {
                 break;
             };
+            // An offline device may still *shed* leftover backlog (src) but
+            // never receives migrated work (dst).
             let Some(dst) = stats
                 .iter()
-                .filter(|&&(d, backlog, idle)| d != src && backlog == 0 && idle > 0)
+                .filter(|&&(d, backlog, idle)| d != src && online[d] && backlog == 0 && idle > 0)
                 .max_by_key(|&&(d, _, idle)| (idle, usize::MAX - d))
                 .map(|&(d, ..)| d)
             else {
@@ -1085,6 +1265,114 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
         }
     }
 
+    /// Mean [`active_load_fraction`](Scheduler::active_load_fraction) over
+    /// the online devices that have a scheduler — the controller input of
+    /// both adaptive fleet knobs. `0` for a fleet with no such device.
+    fn mean_online_load<S: ArrivalSource>(fleet: &FleetCells<Sch, S>, online: &[bool]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0u32;
+        for (d, &is_online) in online.iter().enumerate() {
+            if !is_online {
+                continue;
+            }
+            if let Some(scheduler) = fleet.cell(d).scheduler.as_ref() {
+                total += scheduler.active_load_fraction();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / f64::from(count)
+        }
+    }
+
+    /// One autoscale evaluation: mean load at or above the scale-up
+    /// threshold — or any shed work since the last evaluation, which means
+    /// demand exceeded what the online fleet would admit — rejoins the
+    /// lowest-indexed offline device; mean load at or below the scale-down
+    /// threshold with nothing shed drains the highest-indexed online device
+    /// (respecting the device floor); in between the fleet holds. At most
+    /// one device changes state per call, so the fleet ramps instead of
+    /// flapping.
+    fn autoscale_step<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<Sch, S>,
+        online: &mut [bool],
+        load: f64,
+        shed: u64,
+        round: u64,
+        now: SimTime,
+    ) {
+        let Some(auto) = self.config.autoscale else { return };
+        let online_count = online.iter().filter(|&&o| o).count();
+        if load >= auto.scale_up_ratio || shed > 0 {
+            if let Some(joined) = online.iter().position(|&o| !o) {
+                online[joined] = true;
+                let count = (online_count + 1) as u32;
+                self.emit(CLUSTER_DEVICE, now, || EventKind::DeviceJoined {
+                    device: joined as u32,
+                    round,
+                    online: count,
+                });
+            }
+        } else if load <= auto.scale_down_ratio && online_count > auto.min_devices {
+            // `shed == 0` is implied here: any shed work took the join branch.
+            let Some(drainee) = online.iter().rposition(|&o| o) else { return };
+            online[drainee] = false;
+            let moved = self.drain_device(fleet, online, drainee, now);
+            let count = (online_count - 1) as u32;
+            self.emit(CLUSTER_DEVICE, now, || EventKind::DeviceDrained {
+                device: drainee as u32,
+                round,
+                online: count,
+                moved,
+            });
+        }
+    }
+
+    /// Re-places a drained device's queued-unstarted jobs onto online
+    /// devices with idle streams through the regular migration hand-over
+    /// (admission-tested on each receiver, most-idle receiver first). Jobs
+    /// no consulted receiver admits stay queued at home and run as the
+    /// drained device's own streams free up. Returns the number of jobs
+    /// moved.
+    fn drain_device<S: ArrivalSource>(
+        &mut self,
+        fleet: &FleetCells<Sch, S>,
+        online: &[bool],
+        src: usize,
+        now: SimTime,
+    ) -> u64 {
+        let mut moved = 0u64;
+        'drain: loop {
+            let stats = Self::pressure_stats(fleet, 0..fleet.len());
+            let mut candidates: Vec<(usize, usize)> = stats
+                .iter()
+                .filter(|&&(d, _, idle)| d != src && online[d] && idle > 0)
+                .map(|&(d, _, idle)| (d, idle))
+                .collect();
+            candidates.sort_by_key(|&(d, idle)| (usize::MAX - idle, d));
+            for (dst, _) in candidates {
+                if let Some((global, release_index)) =
+                    self.transfer_queued_job(fleet, src, dst, now)
+                {
+                    self.migrations += 1;
+                    moved += 1;
+                    self.emit(CLUSTER_DEVICE, now, || EventKind::Migration {
+                        task: TaskId(global as u32),
+                        release_index,
+                        from: src as u32,
+                        to: dst as u32,
+                    });
+                    continue 'drain;
+                }
+            }
+            break;
+        }
+        moved
+    }
+
     /// The rebalance epoch: racks exchange `(backlog, idle streams)` load
     /// summaries — emitted on the per-rack telemetry tracks in ascending
     /// rack order — and queued not-yet-started jobs migrate from backlogged
@@ -1096,6 +1384,7 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
         fleet: &FleetCells<Sch, S>,
         racks: &[RackDispatcher],
         rack_of: &[usize],
+        online: &[bool],
         now: SimTime,
         round: u64,
     ) {
@@ -1142,7 +1431,7 @@ impl<Sch: Scheduler + Send> ClusterDispatcher<Sch> {
             let Some(dst) = stats
                 .iter()
                 .filter(|&&(d, backlog, idle)| {
-                    rack_of[d] != rack_of[src] && backlog == 0 && idle > 0
+                    rack_of[d] != rack_of[src] && online[d] && backlog == 0 && idle > 0
                 })
                 .max_by_key(|&&(d, _, idle)| (idle, usize::MAX - d))
                 .map(|&(d, ..)| d)

@@ -34,10 +34,13 @@ pub enum ClusterError {
     /// advance simulated time; rejected loudly instead of silently clamped.
     ZeroSyncQuantum,
     /// A [`RunSpec`](daris_core::RunSpec) cannot be executed on a cluster
-    /// (e.g. it has no horizon, or asks for jittered releases, whose
-    /// per-task generators are keyed by *local* task id and so cannot be
-    /// reproduced faithfully across a sharded fleet).
+    /// (e.g. it has no horizon, or its replay horizon does not match the
+    /// trace).
     InvalidRunSpec(String),
+    /// An adaptive control-plane knob ([`ElasticQuantum`](crate::ElasticQuantum),
+    /// [`AutoscaleConfig`](crate::AutoscaleConfig) or the cluster-level
+    /// adaptive-HPA detector) is misconfigured.
+    InvalidAdaptiveConfig(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -57,6 +60,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::InvalidRunSpec(reason) => {
                 write!(f, "run spec cannot be executed on a cluster: {reason}")
+            }
+            ClusterError::InvalidAdaptiveConfig(reason) => {
+                write!(f, "invalid adaptive control-plane configuration: {reason}")
             }
         }
     }

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod dispatcher;
 mod error;
 mod placement;
@@ -72,6 +73,7 @@ mod rack;
 mod spec;
 mod summary;
 
+pub use adaptive::{AutoscaleConfig, ElasticQuantum};
 pub use dispatcher::{ClusterConfig, ClusterDispatcher, ClusterOutcome, DeviceOutcome, DeviceSlot};
 pub use error::ClusterError;
 pub use placement::{place, utilization_estimates, DevicePlan, Placement, PlacementStrategy};

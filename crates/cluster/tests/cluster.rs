@@ -21,7 +21,7 @@ use daris_cluster::{
     place, utilization_estimates, ClusterConfig, ClusterDispatcher, ClusterSpec, DeviceSpec,
     PlacementStrategy,
 };
-use daris_core::{DarisConfig, DarisScheduler, GpuPartition};
+use daris_core::{DarisConfig, DarisScheduler, GpuPartition, RunSpec, Scheduler};
 use daris_gpu::{GpuSpec, SimTime, XorShiftRng};
 use daris_models::DnnKind;
 use daris_workload::{ArrivalPlan, Priority, ReleaseJitter, TaskSet, TaskSetBuilder};
@@ -322,6 +322,36 @@ fn single_device_cluster_reproduces_the_single_gpu_path_exactly() {
         assert_eq!(outcome.summary.high, expected.summary.high);
         assert_eq!(outcome.summary.migrations, 0);
         assert_eq!(outcome.summary.cluster_admissions, 0);
+    }
+}
+
+#[test]
+fn single_device_cluster_reproduces_the_single_gpu_jittered_path_exactly() {
+    // The jittered analogue of the test above: with the per-task delay
+    // streams keyed by *global* task index, a 1-device cluster draws exactly
+    // the delays the single-GPU path draws, so the summaries stay
+    // byte-identical — the property the old blanket rejection claimed was
+    // impossible.
+    let horizon = SimTime::from_millis(200);
+    let partition = GpuPartition::mps(6, 6.0);
+    for seed in [0u64, 7, 0xDEAD_BEEF] {
+        let jitter = ReleaseJitter::Uniform { max: daris_gpu::SimDuration::from_millis(2), seed };
+        let taskset = TaskSet::table2(DnnKind::UNet);
+        let mut single = DarisScheduler::new(&taskset, DarisConfig::new(partition))
+            .expect("single-GPU scheduler builds");
+        let expected =
+            single.run(&RunSpec::jittered(jitter).until(horizon)).expect("single-GPU run");
+
+        let fleet = ClusterSpec::homogeneous(1, GpuSpec::rtx_2080_ti(), partition);
+        let mut dispatcher = ClusterDispatcher::new(&taskset, fleet, ClusterConfig::default())
+            .expect("dispatcher builds");
+        assert!(dispatcher.placement().rejected.is_empty(), "the set fits one device");
+        let outcome = dispatcher.run_jittered(jitter, horizon);
+
+        assert_eq!(
+            outcome.devices[0].outcome.summary, expected.summary,
+            "seed {seed}: 1-device jittered cluster diverged from the single-GPU path"
+        );
     }
 }
 

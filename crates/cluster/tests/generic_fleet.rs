@@ -8,7 +8,7 @@ use daris_cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec};
 use daris_core::{GpuPartition, RunSpec};
 use daris_gpu::{GpuSpec, SimTime};
 use daris_models::DnnKind;
-use daris_workload::{ReleaseJitter, TaskSet};
+use daris_workload::{BurstyConfig, GenSpec, ReleaseJitter, TaskSet};
 
 mod common;
 use common::{horizon_capped_ms, outcome_hash};
@@ -88,15 +88,51 @@ fn runspec_periodic_matches_run_until() {
 }
 
 #[test]
-fn runspec_rejects_cluster_infeasible_shapes() {
+fn runspec_rejects_cluster_infeasible_shapes_by_name() {
+    // The two remaining infeasible shapes; each error names what was wrong
+    // instead of a bare "unsupported".
     let taskset = TaskSet::table2(DnnKind::ResNet18);
+
     let mut dispatcher = ClusterDispatcher::new(&taskset, fleet(2), config(1)).unwrap();
     let no_horizon = RunSpec::periodic();
-    assert!(dispatcher.run(&no_horizon).is_err(), "missing horizon must be rejected");
-    let jittered = RunSpec::jittered(ReleaseJitter::Uniform {
-        max: daris_gpu::SimDuration::from_millis(2),
-        seed: 7,
-    })
-    .until(SimTime::from_millis(100));
-    assert!(dispatcher.run(&jittered).is_err(), "cluster cannot reproduce jittered releases");
+    let err = dispatcher.run(&no_horizon).expect_err("missing horizon must be rejected");
+    assert!(err.to_string().contains("no horizon"), "unhelpful error: {err}");
+
+    let mut dispatcher = ClusterDispatcher::new(&taskset, fleet(2), config(1)).unwrap();
+    let horizon = SimTime::from_millis(100);
+    let trace = GenSpec::Bursty(BurstyConfig::default()).generate(&taskset, horizon);
+    let mismatched = RunSpec::replay(trace).until(SimTime::from_millis(150));
+    let err = dispatcher.run(&mismatched).expect_err("horizon mismatch must be rejected");
+    assert!(err.to_string().contains("replay horizon"), "unhelpful error: {err}");
+}
+
+#[test]
+fn runspec_jittered_matches_run_jittered() {
+    // The shape the cluster used to reject outright: jittered periodic
+    // releases now route through `run_jittered`, keyed by global task index.
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let horizon = SimTime::from_millis(horizon_capped_ms(150));
+    let jitter = ReleaseJitter::Uniform { max: daris_gpu::SimDuration::from_millis(2), seed: 7 };
+    let mut via_spec = ClusterDispatcher::new(&taskset, fleet(2), config(1)).unwrap();
+    let mut direct = ClusterDispatcher::new(&taskset, fleet(2), config(1)).unwrap();
+    let spec_outcome = via_spec.run(&RunSpec::jittered(jitter).until(horizon)).unwrap();
+    let direct_outcome = direct.run_jittered(jitter, horizon);
+    assert!(spec_outcome.summary.total.completed > 0, "jittered fleet completed nothing");
+    assert_eq!(outcome_hash(&spec_outcome), outcome_hash(&direct_outcome));
+}
+
+#[test]
+fn jittered_fleet_is_byte_identical_at_1_2_8_threads() {
+    let taskset = TaskSet::table2(DnnKind::UNet);
+    let horizon = SimTime::from_millis(horizon_capped_ms(150));
+    let jitter =
+        ReleaseJitter::Uniform { max: daris_gpu::SimDuration::from_millis(3), seed: 0xBEEF };
+    let run = |threads: usize| {
+        let mut dispatcher =
+            ClusterDispatcher::new(&taskset, fleet(4), config(threads)).expect("fleet builds");
+        outcome_hash(&dispatcher.run_jittered(jitter, horizon))
+    };
+    let reference = run(1);
+    assert_eq!(run(2), reference, "2 threads diverged from serial");
+    assert_eq!(run(8), reference, "8 threads diverged from serial");
 }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use daris_gpu::{sm_quota, GpuSpec};
 use daris_telemetry::SinkHandle;
+use daris_workload::LoadDetectorConfig;
 
 use crate::CoreError;
 
@@ -210,6 +211,14 @@ pub struct DarisConfig {
     /// Apply the admission test to high-priority jobs too
     /// (`Overload+HPA`, Sec. VI-I). Default off.
     pub hp_admission: bool,
+    /// Adaptive HPA: flip the Overload/HPA admission mode at runtime from a
+    /// windowed arrival-rate burst detector instead of configuring it once
+    /// up front — HP jobs bypass admission in calm phases and are tested
+    /// during bursts. `None` (the default) keeps the static
+    /// [`hp_admission`](Self::hp_admission) behaviour. When set together
+    /// with `hp_admission`, the static flag wins (HP admission is always
+    /// on).
+    pub adaptive_hpa: Option<LoadDetectorConfig>,
     /// Device description (defaults to the paper's RTX 2080 Ti).
     pub gpu: GpuSpec,
     /// Device the model profiles are calibrated against. `None` (the
@@ -238,6 +247,7 @@ impl DarisConfig {
             window_size: 5,
             ablation: AblationFlags::full(),
             hp_admission: false,
+            adaptive_hpa: None,
             gpu: GpuSpec::rtx_2080_ti(),
             calibration_gpu: None,
             record_mret_trace: false,
@@ -260,6 +270,14 @@ impl DarisConfig {
     /// Enables the HP admission test (`Overload+HPA`).
     pub fn with_hp_admission(mut self) -> Self {
         self.hp_admission = true;
+        self
+    }
+
+    /// Enables adaptive HPA: the Overload/HPA admission mode follows a
+    /// windowed burst detector with the given configuration (see
+    /// [`adaptive_hpa`](Self::adaptive_hpa)).
+    pub fn with_adaptive_hpa(mut self, detector: LoadDetectorConfig) -> Self {
+        self.adaptive_hpa = Some(detector);
         self
     }
 
@@ -299,6 +317,20 @@ impl DarisConfig {
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.window_size == 0 {
             return Err(CoreError::InvalidConfig("window size must be at least 1".into()));
+        }
+        if let Some(det) = &self.adaptive_hpa {
+            if det.window.is_zero() {
+                return Err(CoreError::InvalidConfig(
+                    "adaptive HPA detector window must be non-zero".into(),
+                ));
+            }
+            if !(det.calm_ratio > 0.0 && det.calm_ratio <= det.burst_ratio) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "adaptive HPA thresholds must satisfy 0 < calm_ratio <= burst_ratio, got \
+                     calm {} burst {}",
+                    det.calm_ratio, det.burst_ratio
+                )));
+            }
         }
         self.partition.validate(&self.gpu)
     }

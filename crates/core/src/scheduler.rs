@@ -14,7 +14,8 @@ use daris_metrics::{ExperimentSummary, MetricsCollector};
 use daris_models::{DnnKind, ModelProfile};
 use daris_telemetry::{AdmissionTest, EventKind, SinkHandle, TelemetryEvent};
 use daris_workload::{
-    ArrivalSource, Job, JobId, Priority, TaskId, TaskSet, TaskSpec, Trace, TracePlayer,
+    ArrivalSource, Job, JobId, LoadDetector, Priority, TaskId, TaskSet, TaskSpec, Trace,
+    TracePlayer,
 };
 
 use crate::{
@@ -95,6 +96,11 @@ pub struct DarisScheduler {
     /// paths event-free: every emission site guards on this before even
     /// constructing the event.
     sink: Option<SinkHandle>,
+    /// Burst detector driving the adaptive Overload/HPA admission mode
+    /// (from [`DarisConfig::adaptive_hpa`]). Observed exclusively from the
+    /// release path, so its state is a pure function of the release
+    /// sequence — never of how a driver splits spans or rounds.
+    detector: Option<LoadDetector>,
     now: SimTime,
 }
 
@@ -166,6 +172,7 @@ impl DarisScheduler {
         let queues = (0..n_contexts).map(|_| StageQueue::new(config.ablation)).collect();
 
         let sink = config.sink.clone();
+        let detector = config.adaptive_hpa.map(|det| LoadDetector::new(det, taskset.offered_jps()));
         Ok(DarisScheduler {
             config,
             taskset: taskset.clone(),
@@ -184,6 +191,7 @@ impl DarisScheduler {
             metrics: MetricsCollector::new(),
             mret_trace: Vec::new(),
             sink,
+            detector,
             now: SimTime::ZERO,
         })
     }
@@ -387,7 +395,7 @@ impl DarisScheduler {
     pub fn would_admit(&self, task: TaskId, priority: Priority) -> bool {
         let Some(spec) = self.taskset.task(task) else { return false };
         match priority {
-            Priority::High if !self.config.hp_admission => true,
+            Priority::High if !self.hp_admission_active() => true,
             _ => {
                 let util = self.mret.task_utilization(task, spec.period);
                 let home = self.assignment[task.index()];
@@ -445,6 +453,16 @@ impl DarisScheduler {
     /// before charging the rejection somewhere via
     /// [`reject_job`](Self::reject_job).
     pub fn try_release_job(&mut self, job: Job) -> bool {
+        // Feed the burst detector *before* deciding admission, so the
+        // release that tips a window over the threshold is already treated
+        // under the new mode. The detector sees every release — admitted or
+        // not — making its state independent of admission outcomes.
+        let flipped = self.detector.as_mut().is_some_and(|det| det.observe(job.release));
+        if flipped {
+            let det = self.detector.as_ref().expect("a transition implies a detector");
+            let (hpa_enabled, load_ratio) = (det.is_burst(), det.load_ratio());
+            self.emit(|| EventKind::AdmissionModeChanged { hpa_enabled, load_ratio });
+        }
         let task = self
             .taskset
             .task(job.id.task)
@@ -456,7 +474,7 @@ impl DarisScheduler {
 
         let needs_admission = match job.priority {
             Priority::Low => true,
-            Priority::High => self.config.hp_admission,
+            Priority::High => self.hp_admission_active(),
         };
         let context = if needs_admission {
             match self.admit(&task, job.priority, util, home) {
@@ -584,6 +602,19 @@ impl DarisScheduler {
             .map(|l| l.active_util(Priority::High) + l.active_util(Priority::Low))
             .sum();
         active / capacity
+    }
+
+    /// Whether high-priority releases are currently subject to the
+    /// admission test: statically via [`DarisConfig::hp_admission`], or
+    /// dynamically while the adaptive detector signals a burst in progress.
+    fn hp_admission_active(&self) -> bool {
+        self.config.hp_admission || self.detector.as_ref().is_some_and(LoadDetector::is_burst)
+    }
+
+    /// The adaptive-HPA burst detector, when
+    /// [`DarisConfig::adaptive_hpa`] is configured.
+    pub fn load_detector(&self) -> Option<&LoadDetector> {
+        self.detector.as_ref()
     }
 
     // ----- telemetry --------------------------------------------------------
@@ -988,6 +1019,47 @@ mod tests {
         let outcome = short_run(config, &taskset, 300);
         assert!(outcome.summary.high.rejected > 0, "Overload+HPA should drop some HP jobs");
         assert!(outcome.summary.high.deadline_miss_rate < 0.05);
+    }
+
+    #[test]
+    fn adaptive_hpa_follows_the_burst_signal() {
+        use daris_telemetry::{EventKind, MemorySink, SinkHandle};
+        use daris_workload::{BurstyConfig, GenSpec, LoadDetectorConfig};
+        // A 3× bursty stream must flip the admission mode in both
+        // directions, and HP rejections may only happen while HPA is on.
+        let taskset = TaskSet::table2(DnnKind::ResNet18);
+        let sink = MemorySink::unbounded();
+        let config = DarisConfig::new(GpuPartition::mps(6, 2.0))
+            .with_adaptive_hpa(LoadDetectorConfig::default())
+            .with_sink(SinkHandle::new(sink.clone()));
+        let mut scheduler = DarisScheduler::new(&taskset, config).unwrap();
+        let spec = crate::RunSpec::generated(GenSpec::Bursty(BurstyConfig::default()))
+            .until(SimTime::from_millis(300));
+        crate::Scheduler::run(&mut scheduler, &spec).unwrap();
+
+        let mut hpa_on = false;
+        let (mut ons, mut offs) = (0u64, 0u64);
+        for ev in sink.events() {
+            match ev.kind {
+                EventKind::AdmissionModeChanged { hpa_enabled, load_ratio } => {
+                    assert_ne!(hpa_enabled, hpa_on, "transitions must alternate");
+                    assert!(load_ratio >= 0.0);
+                    hpa_on = hpa_enabled;
+                    if hpa_enabled {
+                        ons += 1;
+                    } else {
+                        offs += 1;
+                    }
+                }
+                EventKind::AdmissionRejected { priority: Priority::High, .. } => {
+                    assert!(hpa_on, "HP release tested while the admission mode was off");
+                }
+                _ => {}
+            }
+        }
+        assert!(ons >= 1 && offs >= 1, "expected both transitions, got {ons} on / {offs} off");
+        let detector = scheduler.load_detector().expect("adaptive config builds a detector");
+        assert_eq!(detector.transitions(), ons + offs, "every transition must be emitted");
     }
 
     #[test]

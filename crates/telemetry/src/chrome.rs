@@ -295,6 +295,15 @@ impl Exporter {
                     &format!("\"prio\":\"{priority}\""),
                 );
             }
+            EventKind::AdmissionModeChanged { hpa_enabled, load_ratio } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_SCHEDULER,
+                    &format!("hpa {}", if *hpa_enabled { "on" } else { "off" }),
+                    &format!("\"hpa_enabled\":{hpa_enabled},\"load_ratio\":{load_ratio}"),
+                );
+            }
             EventKind::DeviceSpan { from, to } => {
                 self.span(*from, *to, pid, TID_ROUNDS, "round-span", "");
             }
@@ -343,6 +352,33 @@ impl Exporter {
                         "rack-migrate {task}#{release_index} d{from}->d{to} (r{from_rack}->r{to_rack})"
                     ),
                     "",
+                );
+            }
+            EventKind::QuantumChanged { round, quantum, load } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_PHASES,
+                    &format!("quantum r{round}"),
+                    &format!("\"quantum_us\":{},\"load\":{load}", quantum.as_micros_f64()),
+                );
+            }
+            EventKind::DeviceJoined { device, round, online } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_PLACEMENT,
+                    &format!("join d{device} r{round}"),
+                    &format!("\"online\":{online}"),
+                );
+            }
+            EventKind::DeviceDrained { device, round, online, moved } => {
+                self.instant(
+                    ev.at,
+                    pid,
+                    TID_PLACEMENT,
+                    &format!("drain d{device} r{round}"),
+                    &format!("\"online\":{online},\"moved\":{moved}"),
                 );
             }
         }

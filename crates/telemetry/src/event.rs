@@ -235,6 +235,14 @@ pub enum EventKind {
         /// Priority level of the job.
         priority: Priority,
     },
+    /// The scheduler's Overload/HPA admission mode flipped at runtime,
+    /// driven by its load detector's burst signal (adaptive control plane).
+    AdmissionModeChanged {
+        /// Whether HP-protective admission (Overload+HPA) is now active.
+        hpa_enabled: bool,
+        /// The detector's last closed-window rate over the nominal rate.
+        load_ratio: f64,
+    },
 
     // ---- fleet layer (daris-cluster) ----
     /// One device's `run_span` covered the sim-time interval `[from, to]`.
@@ -306,6 +314,37 @@ pub enum EventKind {
         /// Rack the destination device belongs to.
         to_rack: u32,
     },
+    /// The elastic dispatcher re-scaled the sync quantum at a round
+    /// boundary; the new quantum governs the *following* round.
+    QuantumChanged {
+        /// Zero-based round whose boundary applied the change.
+        round: u64,
+        /// The new sync quantum.
+        quantum: SimDuration,
+        /// Mean online-device load fraction that drove the choice.
+        load: f64,
+    },
+    /// The autoscaler brought a drained device back online.
+    DeviceJoined {
+        /// The rejoined device.
+        device: u32,
+        /// Zero-based round boundary of the join.
+        round: u64,
+        /// Devices online after the join.
+        online: u32,
+    },
+    /// The autoscaler drained a device: it stops receiving releases and its
+    /// queued-unstarted jobs are re-placed through the migration path.
+    DeviceDrained {
+        /// The drained device.
+        device: u32,
+        /// Zero-based round boundary of the drain.
+        round: u64,
+        /// Devices remaining online.
+        online: u32,
+        /// Queued jobs moved off the drained device.
+        moved: u64,
+    },
 }
 
 impl EventKind {
@@ -325,12 +364,16 @@ impl EventKind {
             EventKind::StageBoundary { .. } => "stage-boundary",
             EventKind::JobCompleted { .. } => "complete",
             EventKind::DeadlineMissed { .. } => "miss",
+            EventKind::AdmissionModeChanged { .. } => "admission-mode",
             EventKind::DeviceSpan { .. } => "device-span",
             EventKind::PhaseMark { .. } => "phase",
             EventKind::RetryAttempt { .. } => "retry",
             EventKind::Migration { .. } => "migrate",
             EventKind::RackLoad { .. } => "rack-load",
             EventKind::RackMigration { .. } => "rack-migrate",
+            EventKind::QuantumChanged { .. } => "quantum",
+            EventKind::DeviceJoined { .. } => "device-join",
+            EventKind::DeviceDrained { .. } => "device-drain",
         }
     }
 }
@@ -355,6 +398,18 @@ mod tests {
         assert_eq!(kind.name(), "device-span");
         let kind = EventKind::RackLoad { rack: 2, round: 7, backlog: 3, idle_streams: 1 };
         assert_eq!(kind.name(), "rack-load");
+        let kind = EventKind::AdmissionModeChanged { hpa_enabled: true, load_ratio: 2.0 };
+        assert_eq!(kind.name(), "admission-mode");
+        let kind = EventKind::QuantumChanged {
+            round: 3,
+            quantum: SimDuration::from_micros(500),
+            load: 0.8,
+        };
+        assert_eq!(kind.name(), "quantum");
+        let kind = EventKind::DeviceJoined { device: 4, round: 9, online: 8 };
+        assert_eq!(kind.name(), "device-join");
+        let kind = EventKind::DeviceDrained { device: 4, round: 9, online: 7, moved: 2 };
+        assert_eq!(kind.name(), "device-drain");
     }
 
     #[test]

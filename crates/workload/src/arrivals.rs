@@ -24,16 +24,25 @@ pub enum ReleaseJitter {
     },
 }
 
-/// The per-task jitter generator: `seed` mixed with the task id through a
-/// splitmix64 finalizer. Each task draws its delays from its own stream, so
-/// the eager [`ArrivalPlan`] (task-major generation) and the lazy
-/// [`ArrivalStream`] (time-ordered generation) produce byte-identical delays
-/// without sharing generator state across tasks.
-fn task_jitter_rng(seed: u64, task: TaskId) -> XorShiftRng {
-    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(task.0) + 1);
+/// The jitter generator of one delay *stream*: `seed` mixed with the stream
+/// key through a splitmix64 finalizer. Each stream draws its delays
+/// independently, so the eager [`ArrivalPlan`] (task-major generation) and
+/// the lazy [`ArrivalStream`] (time-ordered generation) produce
+/// byte-identical delays without sharing generator state across tasks — and
+/// a cluster dispatcher can key a device-local task by its *global* index to
+/// reproduce the exact delay stream a single device would draw (the jitter
+/// analogue of [`GenSpec::stream_keyed`](crate::GenSpec::stream_keyed)).
+fn jitter_rng(seed: u64, key: u64) -> XorShiftRng {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(key.wrapping_add(1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     XorShiftRng::new(z ^ (z >> 31))
+}
+
+/// The standalone per-task jitter generator: the stream key is the task's
+/// own id.
+fn task_jitter_rng(seed: u64, task: TaskId) -> XorShiftRng {
+    jitter_rng(seed, u64::from(task.0))
 }
 
 /// The uniform delay drawn for one release. Inclusion of a job is decided on
@@ -197,6 +206,33 @@ impl<'a> ArrivalStream<'a> {
     /// stream would silently degenerate to the eager path (materialize an
     /// [`ArrivalPlan`] instead).
     pub fn with_jitter(tasks: &'a TaskSet, horizon: SimTime, jitter: ReleaseJitter) -> Self {
+        let keys: Vec<u64> = (0..tasks.len() as u64).collect();
+        Self::with_jitter_keyed(tasks, horizon, jitter, &keys)
+    }
+
+    /// Builds a lazy jittered arrival stream with an explicit **stream key**
+    /// per task: `keys[i]` selects the delay stream of task `i`. A cluster
+    /// dispatcher passes each task's *global* index so device-local streams
+    /// draw exactly the delays a single device would — the jitter analogue
+    /// of [`GenSpec::stream_keyed`](crate::GenSpec::stream_keyed) and of
+    /// [`TaskSet::preserving_phases`] preserving release phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys.len() != tasks.len()`, or on a jitter
+    /// configuration the stream cannot reproduce lazily (see
+    /// [`with_jitter`](Self::with_jitter)).
+    pub fn with_jitter_keyed(
+        tasks: &'a TaskSet,
+        horizon: SimTime,
+        jitter: ReleaseJitter,
+        keys: &[u64],
+    ) -> Self {
+        assert_eq!(
+            keys.len(),
+            tasks.len(),
+            "with_jitter_keyed needs exactly one stream key per task"
+        );
         let mut heap = BinaryHeap::with_capacity(tasks.len());
         let jitter_states = match jitter {
             ReleaseJitter::None => {
@@ -219,9 +255,9 @@ impl<'a> ArrivalStream<'a> {
                     span.as_millis_f64(),
                 );
                 let mut states = Vec::with_capacity(tasks.len());
-                for task in tasks.tasks() {
+                for (task, &key) in tasks.tasks().iter().zip(keys) {
                     let mut state = TaskJitterState {
-                        rng: task_jitter_rng(seed, task.id),
+                        rng: jitter_rng(seed, key),
                         max,
                         next_index: 0,
                         buffer: BinaryHeap::new(),
@@ -405,6 +441,46 @@ mod tests {
             last = job.release;
         }
         assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn global_keys_preserve_jitter_streams_under_sub_setting() {
+        // The cluster-placement contract: a task keeps its jitter delay
+        // stream when moved into a device-local set, as long as it keeps its
+        // global stream key — the jitter analogue of the generators'
+        // `global_keys_preserve_sequences_under_sub_setting`.
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let horizon = SimTime::from_millis(150);
+        let picked: Vec<usize> = vec![2, 5, 11];
+        let local = TaskSet::preserving_phases(picked.iter().map(|&i| ts.tasks()[i].clone()));
+        let keys: Vec<u64> = picked.iter().map(|&i| i as u64).collect();
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            for max_ms in [2u64, 60] {
+                let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(max_ms), seed };
+                let global: Vec<Job> = ArrivalStream::with_jitter(&ts, horizon, jitter).collect();
+                let subset: Vec<Job> =
+                    ArrivalStream::with_jitter_keyed(&local, horizon, jitter, &keys).collect();
+                // Filter the global stream down to the picked tasks and remap
+                // ids to the local space: the sequences must match exactly.
+                let expected: Vec<Job> = global
+                    .into_iter()
+                    .filter_map(|mut job| {
+                        let local_index = picked.iter().position(|&g| g == job.id.task.index())?;
+                        job.id.task = TaskId(local_index as u32);
+                        Some(job)
+                    })
+                    .collect();
+                assert_eq!(expected, subset, "seed {seed}, max {max_ms} ms");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream key per task")]
+    fn jitter_key_count_mismatch_is_rejected_loudly() {
+        let ts = TaskSet::table2(DnnKind::UNet);
+        let jitter = ReleaseJitter::Uniform { max: SimDuration::from_millis(1), seed: 1 };
+        let _ = ArrivalStream::with_jitter_keyed(&ts, SimTime::from_millis(10), jitter, &[1, 2, 3]);
     }
 
     #[test]

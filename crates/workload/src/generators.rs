@@ -27,9 +27,11 @@
 //! * [`Diurnal`](GenSpec::Diurnal) — a sinusoid-modulated rate: the
 //!   inter-release gap after a release at `t` is
 //!   `period / (1 + amplitude · sin(2π·t/cycle + φ))`, with `φ` drawn once
-//!   per task. A first-order time-warp of the nominal rate: load swings
-//!   between `(1−a)` and `(1+a)` times nominal over each cycle (a compressed
-//!   "day" of traffic).
+//!   per task and scaled by `phase_spread` (at the default `1.0` tasks are
+//!   mutually desynchronized; at `0.0` the whole fleet crests together). A
+//!   first-order time-warp of the nominal rate: load swings between `(1−a)`
+//!   and `(1+a)` times nominal over each cycle (a compressed "day" of
+//!   traffic).
 //! * [`Correlated`](GenSpec::Correlated) — co-release groups across tasks:
 //!   tasks are assigned to `groups` groups by stream key, and every task in
 //!   a group releases at the group's shared instants (a fan-out of one user
@@ -78,11 +80,24 @@ pub struct DiurnalConfig {
     pub cycle: SimDuration,
     /// Rate swing around nominal, in `[0, 1)`.
     pub amplitude: f64,
+    /// How far per-task phases `φ` spread across the cycle, in `[0, 1]`.
+    ///
+    /// At `1.0` (the default) each task draws `φ ∈ [0, 2π)` independently,
+    /// so task cycles are mutually desynchronized and the *aggregate* fleet
+    /// rate stays near nominal. At `0.0` every task shares `φ = 0` and the
+    /// whole fleet crests and troughs together — the shape fleet-level
+    /// controllers (autoscalers) are exercised against.
+    pub phase_spread: f64,
 }
 
 impl Default for DiurnalConfig {
     fn default() -> Self {
-        DiurnalConfig { seed: 0xD142_7000, cycle: SimDuration::from_millis(250), amplitude: 0.6 }
+        DiurnalConfig {
+            seed: 0xD142_7000,
+            cycle: SimDuration::from_millis(250),
+            amplitude: 0.6,
+            phase_spread: 1.0,
+        }
     }
 }
 
@@ -207,6 +222,11 @@ impl GenSpec {
                     c.amplitude
                 );
                 assert!(!c.cycle.is_zero(), "diurnal cycle must be non-zero");
+                assert!(
+                    (0.0..=1.0).contains(&c.phase_spread),
+                    "diurnal phase_spread must lie in [0, 1], got {}",
+                    c.phase_spread
+                );
             }
             GenSpec::Correlated(c) => {
                 assert!(c.groups >= 1, "correlated generator needs at least one group");
@@ -242,11 +262,13 @@ impl GenSpec {
             }
             GenSpec::Diurnal(c) => {
                 let mut rng = stream_rng(c.seed, key);
+                // `phase_spread == 1.0` multiplies the draw by exactly 1.0,
+                // so the default reproduces the historical phase bit for bit.
                 GenState::Diurnal {
                     cycle_ns: c.cycle.as_nanos() as f64,
                     amplitude: c.amplitude,
                     period: task.period,
-                    phase0: rng.uniform(0.0, TAU),
+                    phase0: rng.uniform(0.0, TAU) * c.phase_spread,
                     next: SimTime::ZERO + task.phase,
                 }
             }
@@ -526,6 +548,41 @@ mod tests {
         let max = gaps.iter().cloned().fold(0.0, f64::max);
         // (1+a)/(1-a) = 9 at a=0.8; demand a healthy fraction of that swing.
         assert!(max > 3.0 * min, "diurnal gaps must swing with the cycle: {min}..{max}");
+    }
+
+    #[test]
+    fn coherent_diurnal_phases_swing_the_aggregate_rate() {
+        // With phase_spread = 0 every task shares φ = 0, so the *fleet*
+        // release rate oscillates; with the default spread the per-task
+        // cycles cancel and the aggregate stays near flat. Compare the
+        // busiest and quietest cycle-half under each.
+        let ts = TaskSet::table2(DnnKind::ResNet18);
+        let cycle = SimDuration::from_millis(100);
+        let horizon = SimTime::from_millis(400);
+        let half_ratio = |spread: f64| -> f64 {
+            let spec = GenSpec::Diurnal(DiurnalConfig {
+                amplitude: 0.9,
+                cycle,
+                phase_spread: spread,
+                ..Default::default()
+            });
+            let trace = spec.generate(&ts, horizon);
+            let mut halves = [0usize; 8];
+            for e in trace.events() {
+                let half = e.release.as_nanos() / (cycle.as_nanos() / 2);
+                halves[(half as usize).min(7)] += 1;
+            }
+            let busiest = *halves.iter().max().unwrap() as f64;
+            let quietest = *halves.iter().min().unwrap() as f64;
+            busiest / quietest.max(1.0)
+        };
+        let coherent = half_ratio(0.0);
+        let spread = half_ratio(1.0);
+        assert!(coherent > 2.0, "coherent phases must beat a 2:1 half-cycle swing: {coherent}");
+        assert!(
+            coherent > spread,
+            "spread phases must flatten the aggregate: {coherent} vs {spread}"
+        );
     }
 
     #[test]

@@ -36,12 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 mod arrivals;
+mod detector;
 mod generators;
 mod task;
 mod taskset;
 mod trace;
 
 pub use arrivals::{ArrivalPlan, ArrivalStream, ReleaseJitter};
+pub use detector::{LoadDetector, LoadDetectorConfig, MeteredSource};
 pub use generators::{BurstyConfig, CorrelatedConfig, DiurnalConfig, GenSpec, GeneratedStream};
 pub use task::{Job, JobId, Priority, TaskId, TaskSpec};
 pub use taskset::{RatioScenario, TaskSet, TaskSetBuilder};

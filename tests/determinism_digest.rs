@@ -10,11 +10,15 @@
 //! construction, so hash-order leakage shows up as a digest mismatch right
 //! here, without needing a cross-process harness.
 
-use daris::cluster::{ClusterConfig, ClusterDispatcher, ClusterSpec, PlacementStrategy};
-use daris::gpu::SimTime;
+use daris::cluster::{
+    AutoscaleConfig, ClusterConfig, ClusterDispatcher, ClusterSpec, ElasticQuantum,
+    PlacementStrategy,
+};
+use daris::core::GpuPartition;
+use daris::gpu::{GpuSpec, SimDuration, SimTime};
 use daris::models::DnnKind;
 use daris::telemetry::{ChromeTraceSink, MemorySink, SinkHandle};
-use daris::workload::{BurstyConfig, GenSpec, TaskSet};
+use daris::workload::{BurstyConfig, DiurnalConfig, GenSpec, LoadDetectorConfig, TaskSet};
 
 fn run_once(threads: usize) -> u64 {
     let taskset = TaskSet::table2_scaled(DnnKind::ResNet18, 3);
@@ -121,6 +125,52 @@ fn multi_rack_digest_is_thread_count_invariant() {
             "repeated multi-rack run diverged at {threads} worker threads"
         );
     }
+}
+
+/// The full adaptive control plane — burst-triggered HPA, elastic sync
+/// quantum, and device autoscaling — under a *coherent* diurnal workload, so
+/// admission-mode flips, quantum changes, and device drains/joins all
+/// actually fire inside the digested run (the controllers acting, not just
+/// attached).
+fn run_adaptive(threads: usize) -> u64 {
+    let taskset = TaskSet::table2(DnnKind::ResNet18);
+    let fleet = ClusterSpec::homogeneous(8, GpuSpec::rtx_2080_ti(), GpuPartition::mps(6, 6.0));
+    let config = ClusterConfig {
+        threads,
+        adaptive_hpa: Some(LoadDetectorConfig::default()),
+        elastic_quantum: Some(ElasticQuantum::default()),
+        autoscale: Some(AutoscaleConfig {
+            min_devices: 2,
+            scale_up_ratio: 0.4,
+            scale_down_ratio: 0.2,
+            epoch: 4,
+        }),
+        ..Default::default()
+    };
+    let horizon = SimTime::from_millis(daris_bench::horizon_capped_ms(300));
+    let spec = GenSpec::Diurnal(DiurnalConfig {
+        amplitude: 0.9,
+        cycle: SimDuration::from_millis(100),
+        phase_spread: 0.0,
+        ..Default::default()
+    });
+    let outcome = ClusterDispatcher::new(&taskset, fleet, config)
+        .expect("valid adaptive 8-device configuration")
+        .run_generated(&spec, horizon);
+    assert!(outcome.summary.total.completed > 0, "scenario must do real work");
+    outcome.summary_hash()
+}
+
+#[test]
+fn adaptive_control_plane_digest_is_thread_count_invariant() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2);
+    let serial = run_adaptive(1);
+    assert_eq!(
+        serial,
+        run_adaptive(max_threads),
+        "adaptive-control-plane digest diverged between 1 and {max_threads} worker threads"
+    );
+    assert_eq!(serial, run_adaptive(1), "two serial adaptive runs diverged in one process");
 }
 
 #[test]
